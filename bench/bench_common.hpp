@@ -1,0 +1,63 @@
+// Shared infrastructure for the table-reproduction benches.
+//
+// Every bench prints measured values side by side with the paper's
+// published numbers. Scale control: by default traces are shortened and
+// the largest DP instances reduced so the full bench suite completes in
+// minutes; setting SAN_BENCH_FULL=1 switches to the paper's exact sizes
+// (n and 10^6 requests). EXPERIMENTS.md records both conventions.
+#pragma once
+
+#include <cstdint>
+#include <cstdlib>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "workload/generators.hpp"
+
+namespace san::bench {
+
+inline bool full_scale() {
+  const char* env = std::getenv("SAN_BENCH_FULL");
+  return env != nullptr && env[0] == '1';
+}
+
+/// Requests per trace: paper uses 10^6 for every workload.
+inline std::size_t trace_length() { return full_scale() ? 1000000 : 200000; }
+
+/// Node count per workload; the default mode shrinks only the instances
+/// whose O(n^3 k) optimal-tree computation would dominate the suite.
+inline int node_count(WorkloadKind kind) {
+  const int paper = paper_node_count(kind);
+  if (full_scale()) return paper;
+  switch (kind) {
+    case WorkloadKind::kTemporal025:
+    case WorkloadKind::kTemporal05:
+    case WorkloadKind::kTemporal075:
+    case WorkloadKind::kTemporal09:
+      return 255;  // paper: 1023 (DP row needs O(n^3 k))
+    default:
+      return paper;
+  }
+}
+
+inline std::uint64_t bench_seed() { return 20240612; }
+
+/// A row of published numbers from the paper, used for the side-by-side
+/// "paper" lines in the printed tables. Empty strings mean "not reported"
+/// (e.g. the Facebook optimal-tree row).
+struct PaperKaryTable {
+  const char* workload;
+  long long splaynet_k2_total;            // absolute first cell of row 1
+  std::vector<const char*> splay_ratio;   // k = 3..10 relative to 2-ary
+  std::vector<const char*> full_ratio;    // k = 2..10 vs full k-ary tree
+  std::vector<const char*> optimal_ratio; // k = 2..10 vs optimal tree ("" = -)
+};
+
+/// Runs the Tables 1-7 experiment for one workload: k-ary SplayNet for
+/// k = 2..10 against the static full k-ary tree and (when feasible) the
+/// optimal static routing-based k-ary tree, printing measured vs paper.
+void run_kary_table(WorkloadKind kind, const PaperKaryTable& paper,
+                    bool optimal_feasible);
+
+}  // namespace san::bench

@@ -1,0 +1,66 @@
+// Theorem 2 / Theorem 4 complexity check: wall-clock scaling of the
+// O(n^3 k) general DP (serial vs threaded diagonals) and the O(n^2 k)
+// uniform DP. Doubling n should cost ~8x for the general program and ~4x
+// for the uniform one; k enters linearly in both.
+#include <chrono>
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "core/parallel.hpp"
+#include "static_trees/optimal_dp.hpp"
+#include "static_trees/uniform_dp.hpp"
+#include "stats/table.hpp"
+#include "workload/demand_matrix.hpp"
+#include "workload/generators.hpp"
+
+namespace {
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+}  // namespace
+
+int main() {
+  using namespace san;
+  std::cout << "== DP scaling (Theorems 2 and 4) ==\n";
+  std::cout << "hardware threads: " << resolve_threads(0) << "\n\n";
+
+  const int top = bench::full_scale() ? 512 : 256;
+  Table general({"n", "k", "serial s", "threaded s", "cost"});
+  for (int n = top / 4; n <= top; n *= 2) {
+    Trace t = gen_temporal(n, 100000, 0.5, 3);
+    DemandMatrix d = DemandMatrix::from_trace(t);
+    for (int k : {2, 5, 10}) {
+      auto t0 = std::chrono::steady_clock::now();
+      const Cost serial_cost = optimal_routing_based_tree(k, d, 1).total_distance;
+      const double serial = seconds_since(t0);
+      t0 = std::chrono::steady_clock::now();
+      const Cost thr_cost = optimal_routing_based_tree(k, d, 0).total_distance;
+      const double threaded = seconds_since(t0);
+      if (serial_cost != thr_cost) {
+        std::cerr << "BUG: serial and threaded DP disagree\n";
+        return 1;
+      }
+      general.add_row({std::to_string(n), std::to_string(k),
+                       fixed_cell(serial, 3), fixed_cell(threaded, 3),
+                       std::to_string(serial_cost)});
+    }
+  }
+  std::cout << "General demand-aware DP, O(n^3 k):\n";
+  general.print();
+
+  Table uniform({"n", "k", "time s", "cost"});
+  for (int n : {1000, 4000, bench::full_scale() ? 16000 : 8000}) {
+    for (int k : {2, 10}) {
+      const auto t0 = std::chrono::steady_clock::now();
+      const Cost c = optimal_uniform_cost(k, n);
+      uniform.add_row({std::to_string(n), std::to_string(k),
+                       fixed_cell(seconds_since(t0), 3), std::to_string(c)});
+    }
+  }
+  std::cout << "\nUniform-workload DP, O(n^2 k):\n";
+  uniform.print();
+  return 0;
+}

@@ -1,0 +1,48 @@
+// Extension experiment (the paper evaluates the centroid heuristic only at
+// k = 2, Section 5.2, and names general k as future work): (k+1)-SplayNet
+// vs k-ary SplayNet vs the static full k-ary tree across k = 2..8 on three
+// workload families. Total cost convention as in the paper (hop = 1,
+// rotation = 1); ratios are k-ary-SplayNet-relative (<1: centroid wins).
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "core/splaynet.hpp"
+#include "sim/simulator.hpp"
+#include "static_trees/full_tree.hpp"
+#include "stats/table.hpp"
+
+int main() {
+  using namespace san;
+  const int n = 500;
+  const std::size_t m = bench::full_scale() ? 1000000 : 200000;
+  std::cout << "== Extension: (k+1)-SplayNet beyond k = 2 ==\n";
+  std::cout << "n=" << n << ", " << m << " requests; cells are total cost "
+            << "relative to k-ary SplayNet (<1: centroid heuristic wins)\n\n";
+
+  Table out({"workload", "net", "k=2", "k=3", "k=4", "k=5", "k=6", "k=8"});
+  for (auto kind : {WorkloadKind::kUniform, WorkloadKind::kProjector,
+                    WorkloadKind::kTemporal05, WorkloadKind::kTemporal09}) {
+    Trace trace = gen_workload(kind, n, m, bench::bench_seed());
+    std::vector<std::string> crow = {workload_name(kind), "(k+1)-SplayNet"};
+    std::vector<std::string> frow = {workload_name(kind), "full k-ary tree"};
+    for (int k : {2, 3, 4, 5, 6, 8}) {
+      KArySplayNetwork splay(KArySplayNet::balanced(k, n));
+      const Cost base = run_trace(splay, trace).total_cost();
+      CentroidSplayNetwork cent{CentroidSplayNet(k, n)};
+      const Cost cc = run_trace(cent, trace).total_cost();
+      const Cost fc = run_trace_static(full_kary_tree(k, n), trace)
+                          .total_cost();
+      crow.push_back(ratio_cell(static_cast<double>(cc),
+                                static_cast<double>(base)));
+      frow.push_back(ratio_cell(static_cast<double>(fc),
+                                static_cast<double>(base)));
+    }
+    out.add_row(crow);
+    out.add_row(frow);
+  }
+  out.print();
+  std::cout << "\nThe paper's k = 2 finding (centroid wins at low locality, "
+               "loses at high locality)\nextends to larger k when it does — "
+               "this table is the evidence either way.\n";
+  return 0;
+}

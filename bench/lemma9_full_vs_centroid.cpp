@@ -1,0 +1,48 @@
+// Lemma 9 / Lemma 36: the total distance of both the full k-ary tree and
+// the centroid (k+1)-degree tree is n^2 log_k n + O(n^2). This bench prints
+// the series cost / n^2 against log_k n: both curves track log_k n with a
+// bounded additive gap, and the centroid tree is never worse.
+#include <algorithm>
+#include <cmath>
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "static_trees/centroid_tree.hpp"
+#include "static_trees/full_tree.hpp"
+#include "stats/table.hpp"
+
+int main() {
+  using namespace san;
+  std::cout << "== Lemma 9: total distance of full vs centroid trees ==\n";
+  std::cout << "both should be n^2 log_k n + O(n^2): cost/n^2 - log_k n "
+               "stays bounded\n\n";
+
+  const int n_max = bench::full_scale() ? 100000 : 20000;
+  Table out({"k", "n", "log_k n", "full/n^2", "centroid/n^2",
+             "full gap", "centroid gap"});
+  bool centroid_never_worse = true;
+  double max_gap = 0.0;
+  for (int k : {2, 3, 5, 10}) {
+    for (int n = 100; n <= n_max; n *= 4) {
+      const double logk = std::log(n) / std::log(k);
+      const double n2 = static_cast<double>(n) * n;
+      const Cost fc = full_kary_tree(k, n).uniform_total_distance();
+      const Cost cc = centroid_kary_tree(k, n).uniform_total_distance();
+      if (cc > fc) centroid_never_worse = false;
+      const double fgap = static_cast<double>(fc) / n2 - logk;
+      const double cgap = static_cast<double>(cc) / n2 - logk;
+      max_gap = std::max({max_gap, std::abs(fgap), std::abs(cgap)});
+      out.add_row({std::to_string(k), std::to_string(n),
+                   fixed_cell(logk, 2), fixed_cell(fc / n2, 3),
+                   fixed_cell(cc / n2, 3), fixed_cell(fgap, 3),
+                   fixed_cell(cgap, 3)});
+    }
+  }
+  out.print();
+  std::cout << "\ncentroid never worse than full: "
+            << (centroid_never_worse ? "yes (matches Remark 10 intuition)"
+                                     : "NO")
+            << "\nmax |cost/n^2 - log_k n| = " << fixed_cell(max_gap, 3)
+            << " (Lemma 9 predicts an O(1) bound)\n";
+  return centroid_never_worse ? 0 : 1;
+}

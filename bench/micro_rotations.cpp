@@ -1,0 +1,72 @@
+// Microbenchmarks: latency of the rotation primitives and of a full serve,
+// as a function of arity. Not a paper table — engineering data for the
+// DESIGN.md ablation discussion (rotation cost grows with k while depth
+// shrinks; the product is what the macro benches measure end to end).
+#include <benchmark/benchmark.h>
+
+#include <random>
+
+#include "core/rotation.hpp"
+#include "core/shape.hpp"
+#include "core/splaynet.hpp"
+#include "workload/generators.hpp"
+
+namespace {
+
+void BM_KSemiSplay(benchmark::State& state) {
+  const int k = static_cast<int>(state.range(0));
+  const int n = 1 << 12;
+  san::KAryTree tree =
+      san::build_from_shape(k, san::make_complete_shape(n, k));
+  std::mt19937_64 rng(1);
+  for (auto _ : state) {
+    san::NodeId x = 1 + static_cast<san::NodeId>(rng() % n);
+    if (tree.node(x).parent == san::kNoNode) continue;
+    benchmark::DoNotOptimize(san::k_semi_splay(tree, x));
+  }
+}
+BENCHMARK(BM_KSemiSplay)->DenseRange(2, 10, 2);
+
+void BM_KSplay(benchmark::State& state) {
+  const int k = static_cast<int>(state.range(0));
+  const int n = 1 << 12;
+  san::KAryTree tree =
+      san::build_from_shape(k, san::make_complete_shape(n, k));
+  std::mt19937_64 rng(2);
+  for (auto _ : state) {
+    san::NodeId x = 1 + static_cast<san::NodeId>(rng() % n);
+    const san::NodeId p = tree.node(x).parent;
+    if (p == san::kNoNode || tree.node(p).parent == san::kNoNode) continue;
+    benchmark::DoNotOptimize(san::k_splay(tree, x));
+  }
+}
+BENCHMARK(BM_KSplay)->DenseRange(2, 10, 2);
+
+void BM_Serve(benchmark::State& state) {
+  const int k = static_cast<int>(state.range(0));
+  const int n = 1 << 12;
+  san::KArySplayNet net = san::KArySplayNet::balanced(k, n);
+  san::Trace trace = san::gen_temporal(n, 1 << 16, 0.5, 3);
+  size_t i = 0;
+  for (auto _ : state) {
+    const san::Request& r = trace.requests[i++ % trace.size()];
+    benchmark::DoNotOptimize(net.serve(r.src, r.dst));
+  }
+}
+BENCHMARK(BM_Serve)->DenseRange(2, 10, 2);
+
+void BM_StaticDistance(benchmark::State& state) {
+  const int k = static_cast<int>(state.range(0));
+  const int n = 1 << 12;
+  san::KAryTree tree =
+      san::build_from_shape(k, san::make_complete_shape(n, k));
+  std::mt19937_64 rng(4);
+  for (auto _ : state) {
+    san::NodeId u = 1 + static_cast<san::NodeId>(rng() % n);
+    san::NodeId v = 1 + static_cast<san::NodeId>(rng() % n);
+    benchmark::DoNotOptimize(tree.distance(u, v));
+  }
+}
+BENCHMARK(BM_StaticDistance)->DenseRange(2, 10, 2);
+
+}  // namespace

@@ -1,0 +1,62 @@
+// Remark 10 / Remark 37: "our centroid k-ary search tree is indeed optimal
+// for all n less than 10^3 when k is up to 10". Reproduced by comparing the
+// O(n) centroid construction's uniform total distance against the
+// O(n^2 k) DP optimum over every (n, k) in the sweep.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "static_trees/centroid_tree.hpp"
+#include "static_trees/full_tree.hpp"
+#include "static_trees/uniform_dp.hpp"
+#include "stats/table.hpp"
+
+int main() {
+  using namespace san;
+  const int n_max = bench::full_scale() ? 999 : 512;
+  std::cout << "== Remark 10: centroid tree vs uniform-workload optimum ==\n";
+  std::cout << "sweep: n in [2, " << n_max << "], k in [2, 10] (paper: n < "
+               "10^3, k <= 10)\n\n";
+
+  long long checked = 0, matches = 0;
+  Cost worst_gap = 0;
+  int worst_n = -1, worst_k = -1;
+  for (int k = 2; k <= 10; ++k) {
+    for (int n = 2; n <= n_max; ++n) {
+      const Cost opt = optimal_uniform_cost(k, n);
+      const Cost cen = centroid_kary_tree(k, n).uniform_total_distance();
+      ++checked;
+      if (cen == opt) {
+        ++matches;
+      } else if (cen - opt > worst_gap) {
+        worst_gap = cen - opt;
+        worst_n = n;
+        worst_k = k;
+      }
+    }
+  }
+
+  Table out({"quantity", "measured", "paper"});
+  out.add_row({"configurations checked", std::to_string(checked), "-"});
+  out.add_row({"centroid == optimum", std::to_string(matches),
+               "all (optimal for n < 10^3, k <= 10)"});
+  out.add_row({"largest gap", std::to_string(worst_gap), "0"});
+  out.print();
+  if (worst_gap > 0)
+    std::cout << "worst case: n=" << worst_n << " k=" << worst_k << "\n";
+
+  // Spot table: absolute costs for a few sizes, full tree included for
+  // context (Lemma 9's O(n^2) slack is visible in the last column).
+  Table spot({"n", "k", "optimal", "centroid", "full"});
+  for (int k : {2, 3, 5, 10})
+    for (int n : {100, 250, n_max}) {
+      spot.add_row({std::to_string(n), std::to_string(k),
+                    std::to_string(optimal_uniform_cost(k, n)),
+                    std::to_string(
+                        centroid_kary_tree(k, n).uniform_total_distance()),
+                    std::to_string(
+                        full_kary_tree(k, n).uniform_total_distance())});
+    }
+  std::cout << "\n";
+  spot.print();
+  return matches == checked ? 0 : 1;
+}

@@ -1,0 +1,19 @@
+// Table 1: k-ary SplayNet on the HPC workload (DOE mini-apps substitute)
+// against the static full k-ary tree and the optimal routing-based tree.
+#include "bench_common.hpp"
+
+int main() {
+  san::bench::PaperKaryTable paper{
+      "HPC",
+      4798648,
+      {"0.87x", "0.82x", "0.75x", "0.76x", "0.73x", "0.70x", "0.69x",
+       "0.70x"},
+      {"0.78x", "0.94x", "1.04x", "1.07x", "1.16x", "1.17x", "1.25x",
+       "1.25x", "1.29x"},
+      {"1.52x", "1.90x", "2.15x", "2.22x", "2.45x", "2.48x", "2.49x",
+       "2.58x", "2.75x"},
+  };
+  san::bench::run_kary_table(san::WorkloadKind::kHpc, paper,
+                             /*optimal_feasible=*/true);
+  return 0;
+}

@@ -1,0 +1,19 @@
+// Table 2: k-ary SplayNet on the ProjecToR workload (sparse skewed
+// substitute) against static full and optimal k-ary trees.
+#include "bench_common.hpp"
+
+int main() {
+  san::bench::PaperKaryTable paper{
+      "ProjecToR",
+      3151626,
+      {"0.93x", "0.91x", "0.87x", "0.84x", "0.86x", "0.86x", "0.84x",
+       "0.83x"},
+      {"0.40x", "0.49x", "0.46x", "0.52x", "0.70x", "0.50x", "0.58x",
+       "0.57x", "0.92x"},
+      {"1.45x", "1.81x", "2.09x", "2.10x", "2.08x", "2.20x", "2.22x",
+       "2.22x", "2.25x"},
+  };
+  san::bench::run_kary_table(san::WorkloadKind::kProjector, paper,
+                             /*optimal_feasible=*/true);
+  return 0;
+}

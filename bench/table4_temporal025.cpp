@@ -1,0 +1,19 @@
+// Table 4: k-ary SplayNet on the synthetic workload with temporal
+// complexity parameter 0.25 (low locality).
+#include "bench_common.hpp"
+
+int main() {
+  san::bench::PaperKaryTable paper{
+      "Temporal 0.25",
+      1389359,
+      {"0.82x", "0.75x", "0.71x", "0.69x", "0.68x", "0.68x", "0.65x",
+       "0.62x"},
+      {"0.99x", "1.15x", "1.23x", "1.30x", "1.37x", "1.39x", "1.47x",
+       "1.51x", "1.55x"},
+      {"1.75x", "2.12x", "2.32x", "2.49x", "2.64x", "2.71x", "2.88x",
+       "2.99x", "3.03x"},
+  };
+  san::bench::run_kary_table(san::WorkloadKind::kTemporal025, paper,
+                             /*optimal_feasible=*/true);
+  return 0;
+}

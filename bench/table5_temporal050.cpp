@@ -1,0 +1,19 @@
+// Table 5: k-ary SplayNet on the synthetic workload with temporal
+// complexity parameter 0.5.
+#include "bench_common.hpp"
+
+int main() {
+  san::bench::PaperKaryTable paper{
+      "Temporal 0.5",
+      963150,
+      {"0.83x", "0.76x", "0.72x", "0.70x", "0.69x", "0.69x", "0.67x",
+       "0.64x"},
+      {"0.69x", "0.80x", "0.86x", "0.91x", "0.97x", "0.98x", "1.03x",
+       "1.06x", "1.10x"},
+      {"1.21x", "1.49x", "1.64x", "1.76x", "1.87x", "1.91x", "2.04x",
+       "2.12x", "2.15x"},
+  };
+  san::bench::run_kary_table(san::WorkloadKind::kTemporal05, paper,
+                             /*optimal_feasible=*/true);
+  return 0;
+}

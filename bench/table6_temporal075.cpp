@@ -1,0 +1,20 @@
+// Table 6: k-ary SplayNet on the synthetic workload with temporal
+// complexity parameter 0.75 (high locality: the self-adjusting tree beats
+// both static trees).
+#include "bench_common.hpp"
+
+int main() {
+  san::bench::PaperKaryTable paper{
+      "Temporal 0.75",
+      530049,
+      {"0.85x", "0.78x", "0.75x", "0.73x", "0.72x", "0.72x", "0.70x",
+       "0.67x"},
+      {"0.38x", "0.45x", "0.49x", "0.52x", "0.55x", "0.56x", "0.59x",
+       "0.61x", "0.64x"},
+      {"0.68x", "0.84x", "0.94x", "1.02x", "1.09x", "1.12x", "1.19x",
+       "1.24x", "1.26x"},
+  };
+  san::bench::run_kary_table(san::WorkloadKind::kTemporal075, paper,
+                             /*optimal_feasible=*/true);
+  return 0;
+}

@@ -1,0 +1,20 @@
+// Table 7: k-ary SplayNet on the synthetic workload with temporal
+// complexity parameter 0.9 (the most bursty: self-adjustment dominates all
+// static trees, including the demand-aware optimum).
+#include "bench_common.hpp"
+
+int main() {
+  san::bench::PaperKaryTable paper{
+      "Temporal 0.9",
+      271838,
+      {"0.88x", "0.83x", "0.80x", "0.79x", "0.78x", "0.78x", "0.76x",
+       "0.74x"},
+      {"0.20x", "0.24x", "0.27x", "0.29x", "0.31x", "0.31x", "0.33x",
+       "0.34x", "0.36x"},
+      {"0.36x", "0.46x", "0.53x", "0.58x", "0.62x", "0.64x", "0.68x",
+       "0.72x", "0.73x"},
+  };
+  san::bench::run_kary_table(san::WorkloadKind::kTemporal09, paper,
+                             /*optimal_feasible=*/true);
+  return 0;
+}

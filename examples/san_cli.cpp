@@ -1,0 +1,189 @@
+// san_cli: run any workload x topology combination from the command line.
+//
+//   san_cli --workload hpc --topology ksplay --k 4 --n 500 --requests 100000
+//   san_cli --trace mytrace.txt --topology centroid --k 2
+//   san_cli --workload temporal075 --topology optimal --k 3 --dump-tree t.dot
+//
+// Workloads: uniform temporal025 temporal05 temporal075 temporal09 hpc
+//            projector facebook, or --trace FILE (san-trace v1).
+// Topologies: ksplay (k-ary SplayNet), semisplay (k-semi-splay only),
+//             centroid ((k+1)-SplayNet), binary (classic SplayNet),
+//             full (static complete k-ary), optimal (static demand-aware
+//             DP over the whole trace — hindsight reference).
+// Output: one summary table (mean / p50 / p99 / max per-request cost,
+// rotation and link-change totals) and optional CSV / dot dumps.
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "core/splaynet.hpp"
+#include "io/trace_io.hpp"
+#include "io/tree_io.hpp"
+#include "sim/network.hpp"
+#include "static_trees/full_tree.hpp"
+#include "static_trees/optimal_dp.hpp"
+#include "stats/series.hpp"
+#include "stats/table.hpp"
+#include "workload/demand_matrix.hpp"
+#include "workload/generators.hpp"
+#include "workload/trace_stats.hpp"
+
+namespace {
+
+using namespace san;
+
+struct Options {
+  std::string workload = "temporal05";
+  std::string trace_path;
+  std::string topology = "ksplay";
+  int k = 3;
+  int n = 0;  // 0 = workload default
+  std::size_t requests = 100000;
+  std::uint64_t seed = 1;
+  std::string dump_tree;   // dot output path
+  std::string dump_trace;  // san-trace output path
+  bool csv = false;
+};
+
+[[noreturn]] void usage(const char* argv0) {
+  std::cerr
+      << "usage: " << argv0
+      << " [--workload NAME | --trace FILE] [--topology NAME] [--k K]\n"
+         "          [--n N] [--requests M] [--seed S] [--csv]\n"
+         "          [--dump-tree FILE.dot] [--dump-trace FILE]\n"
+         "workloads: uniform temporal025 temporal05 temporal075 temporal09\n"
+         "           hpc projector facebook\n"
+         "topologies: ksplay semisplay centroid binary full optimal\n";
+  std::exit(2);
+}
+
+Options parse(int argc, char** argv) {
+  Options o;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> std::string {
+      if (i + 1 >= argc) usage(argv[0]);
+      return argv[++i];
+    };
+    if (arg == "--workload") o.workload = next();
+    else if (arg == "--trace") o.trace_path = next();
+    else if (arg == "--topology") o.topology = next();
+    else if (arg == "--k") o.k = std::stoi(next());
+    else if (arg == "--n") o.n = std::stoi(next());
+    else if (arg == "--requests") o.requests = std::stoull(next());
+    else if (arg == "--seed") o.seed = std::stoull(next());
+    else if (arg == "--dump-tree") o.dump_tree = next();
+    else if (arg == "--dump-trace") o.dump_trace = next();
+    else if (arg == "--csv") o.csv = true;
+    else usage(argv[0]);
+  }
+  return o;
+}
+
+WorkloadKind parse_workload(const std::string& name) {
+  static const std::map<std::string, WorkloadKind> kinds = {
+      {"uniform", WorkloadKind::kUniform},
+      {"temporal025", WorkloadKind::kTemporal025},
+      {"temporal05", WorkloadKind::kTemporal05},
+      {"temporal075", WorkloadKind::kTemporal075},
+      {"temporal09", WorkloadKind::kTemporal09},
+      {"hpc", WorkloadKind::kHpc},
+      {"projector", WorkloadKind::kProjector},
+      {"facebook", WorkloadKind::kFacebook},
+  };
+  auto it = kinds.find(name);
+  if (it == kinds.end()) throw TreeError("unknown workload: " + name);
+  return it->second;
+}
+
+std::unique_ptr<Network> make_network(const Options& o, const Trace& trace) {
+  const int n = trace.n;
+  if (o.topology == "ksplay")
+    return std::make_unique<KArySplayNetwork>(KArySplayNet::balanced(o.k, n));
+  if (o.topology == "semisplay")
+    return std::make_unique<KArySplayNetwork>(KArySplayNet::balanced(
+        o.k, n, RotationPolicy{}, SplayMode::kSemiSplayOnly));
+  if (o.topology == "centroid")
+    return std::make_unique<CentroidSplayNetwork>(CentroidSplayNet(o.k, n));
+  if (o.topology == "binary")
+    return std::make_unique<BinarySplayNetwork>(n);
+  if (o.topology == "full")
+    return std::make_unique<StaticTreeNetwork>(full_kary_tree(o.k, n),
+                                               "full tree");
+  if (o.topology == "optimal") {
+    DemandMatrix d = DemandMatrix::from_trace(trace);
+    return std::make_unique<StaticTreeNetwork>(
+        optimal_routing_based_tree(o.k, d, 0).tree, "optimal static tree");
+  }
+  throw TreeError("unknown topology: " + o.topology);
+}
+
+const KAryTree* tree_of(const Network& net) {
+  if (auto* s = dynamic_cast<const KArySplayNetwork*>(&net))
+    return &s->net().tree();
+  if (auto* c = dynamic_cast<const CentroidSplayNetwork*>(&net))
+    return &c->net().tree();
+  if (auto* t = dynamic_cast<const StaticTreeNetwork*>(&net))
+    return &t->tree();
+  return nullptr;  // classic binary SplayNet has its own representation
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options o;
+  try {
+    o = parse(argc, argv);
+    Trace trace = o.trace_path.empty()
+                      ? gen_workload(parse_workload(o.workload), o.n,
+                                     o.requests, o.seed)
+                      : read_trace_file(o.trace_path);
+    if (!o.dump_trace.empty()) write_trace_file(o.dump_trace, trace);
+
+    const TraceStats st = compute_stats(trace);
+    std::unique_ptr<Network> net = make_network(o, trace);
+
+    CostSeries series;
+    Cost routing = 0, rotations = 0, links = 0;
+    for (const Request& r : trace.requests) {
+      const ServeResult s = net->serve(r.src, r.dst);
+      series.add(s.routing_cost + s.rotations);
+      routing += s.routing_cost;
+      rotations += s.rotations;
+      links += s.edge_changes;
+    }
+
+    Table out({"metric", "value"});
+    out.add_row({"network", net->name()});
+    out.add_row({"nodes", std::to_string(trace.n)});
+    out.add_row({"requests", std::to_string(trace.size())});
+    out.add_row({"trace repeat fraction", fixed_cell(st.repeat_fraction)});
+    out.add_row({"mean cost/request", fixed_cell(series.mean())});
+    out.add_row({"p50 cost", std::to_string(series.percentile(0.50))});
+    out.add_row({"p99 cost", std::to_string(series.percentile(0.99))});
+    out.add_row({"max cost", std::to_string(series.max())});
+    out.add_row({"total routing", std::to_string(routing)});
+    out.add_row({"total rotations", std::to_string(rotations)});
+    out.add_row({"total link changes", std::to_string(links)});
+    if (o.csv)
+      std::cout << out.to_csv();
+    else
+      out.print();
+
+    if (!o.dump_tree.empty()) {
+      const KAryTree* tree = tree_of(*net);
+      if (tree == nullptr)
+        throw TreeError("--dump-tree is not supported for this topology");
+      std::ofstream dot(o.dump_tree);
+      dot << to_dot(*tree);
+      std::cout << "final topology written to " << o.dump_tree << "\n";
+    }
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,156 @@
+#include "core/binary_splaynet.hpp"
+
+#include <algorithm>
+
+namespace san {
+
+BinarySplayNet::BinarySplayNet(int n) : n_(n) {
+  if (n < 1) throw TreeError("BinarySplayNet needs at least one node");
+  left_.assign(static_cast<size_t>(n) + 1, kNoNode);
+  right_.assign(static_cast<size_t>(n) + 1, kNoNode);
+  parent_.assign(static_cast<size_t>(n) + 1, kNoNode);
+  root_ = build_balanced(1, n, kNoNode);
+}
+
+NodeId BinarySplayNet::build_balanced(NodeId lo, NodeId hi, NodeId parent) {
+  if (lo > hi) return kNoNode;
+  NodeId mid = lo + (hi - lo) / 2;
+  parent_[mid] = parent;
+  left_[mid] = build_balanced(lo, mid - 1, mid);
+  right_[mid] = build_balanced(mid + 1, hi, mid);
+  return mid;
+}
+
+int BinarySplayNet::depth(NodeId x) const {
+  int d = 0;
+  for (NodeId cur = x; parent_[cur] != kNoNode; cur = parent_[cur]) ++d;
+  return d;
+}
+
+NodeId BinarySplayNet::lca(NodeId u, NodeId v) const {
+  NodeId lo = std::min(u, v);
+  NodeId hi = std::max(u, v);
+  NodeId cur = root_;
+  while (cur < lo || cur > hi) cur = (cur > hi) ? left_[cur] : right_[cur];
+  return cur;
+}
+
+int BinarySplayNet::distance(NodeId u, NodeId v) const {
+  NodeId w = lca(u, v);
+  return depth(u) + depth(v) - 2 * depth(w);
+}
+
+RotationResult BinarySplayNet::rotate_up(NodeId x) {
+  RotationResult res;
+  NodeId p = parent_[x];
+  NodeId g = parent_[p];
+  NodeId moved_subtree;
+  if (left_[p] == x) {  // right rotation
+    moved_subtree = right_[x];
+    left_[p] = moved_subtree;
+    right_[x] = p;
+  } else {  // left rotation
+    moved_subtree = left_[x];
+    right_[p] = moved_subtree;
+    left_[x] = p;
+  }
+  if (moved_subtree != kNoNode) parent_[moved_subtree] = p;
+  parent_[p] = x;
+  parent_[x] = g;
+  if (g == kNoNode) {
+    root_ = x;
+  } else if (left_[g] == p) {
+    left_[g] = x;
+  } else {
+    right_[g] = x;
+  }
+  // Every parent change removes one link and adds one, except x becoming
+  // root (its old (g,p)->(g,x) side collapses to a single removal).
+  res.parent_changes = 2 + (moved_subtree != kNoNode ? 1 : 0);
+  res.edge_changes = (g == kNoNode ? 1 : 2)            // x's parent link
+                     + 2                               // p now under x
+                     + (moved_subtree != kNoNode ? 2 : 0);
+  return res;
+}
+
+RotationResult BinarySplayNet::splay_step(NodeId x, NodeId stop) {
+  RotationResult total;
+  NodeId p = parent_[x];
+  NodeId g = parent_[p];
+  auto add = [&total](const RotationResult& r) {
+    total.parent_changes += r.parent_changes;
+    total.edge_changes += r.edge_changes;
+  };
+  if (g == stop) {
+    add(rotate_up(x));  // zig
+  } else if ((left_[g] == p) == (left_[p] == x)) {
+    add(rotate_up(p));  // zig-zig: rotate parent first
+    add(rotate_up(x));
+  } else {
+    add(rotate_up(x));  // zig-zag: rotate x twice
+    add(rotate_up(x));
+  }
+  return total;
+}
+
+ServeResult BinarySplayNet::splay_until_parent(NodeId x, NodeId stop) {
+  ServeResult res;
+  while (parent_[x] != stop) {
+    RotationResult step = splay_step(x, stop);
+    ++res.rotations;
+    res.parent_changes += step.parent_changes;
+    res.edge_changes += step.edge_changes;
+  }
+  return res;
+}
+
+ServeResult BinarySplayNet::serve(NodeId u, NodeId v) {
+  ServeResult res;
+  if (u == v) return res;
+  NodeId w = lca(u, v);
+  res.routing_cost = distance(u, v);
+  NodeId stop = parent_[w];
+  ServeResult up = splay_until_parent(u, stop);
+  ServeResult down = splay_until_parent(v, u);
+  res.rotations = up.rotations + down.rotations;
+  res.parent_changes = up.parent_changes + down.parent_changes;
+  res.edge_changes = up.edge_changes + down.edge_changes;
+  return res;
+}
+
+ServeResult BinarySplayNet::access(NodeId x) {
+  ServeResult res;
+  res.routing_cost = depth(x);
+  ServeResult splay = splay_until_parent(x, kNoNode);
+  res.rotations = splay.rotations;
+  res.parent_changes = splay.parent_changes;
+  res.edge_changes = splay.edge_changes;
+  return res;
+}
+
+bool BinarySplayNet::valid() const {
+  if (root_ == kNoNode || parent_[root_] != kNoNode) return false;
+  int visited = 0;
+  struct Frame {
+    NodeId id, lo, hi;
+  };
+  std::vector<Frame> stack = {{root_, 1, static_cast<NodeId>(n_)}};
+  while (!stack.empty()) {
+    auto [id, lo, hi] = stack.back();
+    stack.pop_back();
+    if (id < lo || id > hi) return false;
+    ++visited;
+    if (visited > n_) return false;
+    if (left_[id] != kNoNode) {
+      if (parent_[left_[id]] != id) return false;
+      stack.push_back({left_[id], lo, static_cast<NodeId>(id - 1)});
+    }
+    if (right_[id] != kNoNode) {
+      if (parent_[right_[id]] != id) return false;
+      stack.push_back({right_[id], static_cast<NodeId>(id + 1), hi});
+    }
+  }
+  return visited == n_;
+}
+
+}  // namespace san

@@ -1,0 +1,248 @@
+#include "core/karytree.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace san {
+
+KAryTree::KAryTree(int k, int n) : k_(k), n_(n) {
+  if (k < 2) throw TreeError("arity must be >= 2");
+  if (n < 1) throw TreeError("tree needs at least one node");
+  nodes_.resize(static_cast<size_t>(n) + 1);
+  for (NodeId id = 1; id <= n; ++id) {
+    nodes_[id].id = id;
+    nodes_[id].children = {kNoNode};  // zero keys -> one (empty) interval
+  }
+}
+
+int KAryTree::depth(NodeId id) const {
+  int d = 0;
+  for (NodeId cur = check(id); nodes_[cur].parent != kNoNode;
+       cur = nodes_[cur].parent) {
+    ++d;
+    if (d > n_) throw TreeError("parent cycle detected in depth()");
+  }
+  return d;
+}
+
+NodeId KAryTree::lca(NodeId u, NodeId v) const {
+  int du = depth(u);
+  int dv = depth(v);
+  NodeId a = u;
+  NodeId b = v;
+  while (du > dv) {
+    a = nodes_[a].parent;
+    --du;
+  }
+  while (dv > du) {
+    b = nodes_[b].parent;
+    --dv;
+  }
+  while (a != b) {
+    a = nodes_[a].parent;
+    b = nodes_[b].parent;
+    if (a == kNoNode || b == kNoNode)
+      throw TreeError("nodes are in disconnected components");
+  }
+  return a;
+}
+
+int KAryTree::distance(NodeId u, NodeId v) const {
+  NodeId w = lca(u, v);
+  return depth(u) + depth(v) - 2 * depth(w);
+}
+
+std::vector<NodeId> KAryTree::route(NodeId u, NodeId v) const {
+  NodeId w = lca(u, v);
+  std::vector<NodeId> up;
+  for (NodeId cur = u; cur != w; cur = nodes_[cur].parent) up.push_back(cur);
+  up.push_back(w);
+  std::vector<NodeId> down;
+  for (NodeId cur = v; cur != w; cur = nodes_[cur].parent) down.push_back(cur);
+  up.insert(up.end(), down.rbegin(), down.rend());
+  return up;
+}
+
+bool KAryTree::is_ancestor(NodeId anc, NodeId id) const {
+  for (NodeId cur = check(id); cur != kNoNode; cur = nodes_[cur].parent)
+    if (cur == anc) return true;
+  return false;
+}
+
+int KAryTree::interval_of(NodeId id, RoutingKey key) const {
+  const auto& ks = nodes_[check(id)].keys;
+  return static_cast<int>(std::upper_bound(ks.begin(), ks.end(), key) -
+                          ks.begin());
+}
+
+std::vector<NodeId> KAryTree::search_from_root(NodeId target) const {
+  check(target);
+  std::vector<NodeId> path;
+  NodeId cur = root_;
+  while (true) {
+    if (cur == kNoNode) throw TreeError("search fell off the tree");
+    path.push_back(cur);
+    if (cur == target) return path;
+    if (path.size() > static_cast<size_t>(n_))
+      throw TreeError("search path longer than tree size");
+    const TreeNode& nd = nodes_[cur];
+    cur = nd.children[interval_of(cur, id_key(target))];
+  }
+}
+
+Cost KAryTree::uniform_total_distance() const {
+  // Sum of subtree-size * (n - subtree-size) over all edges equals the sum
+  // of pairwise distances over ordered pairs divided by 2; we return the
+  // ordered-pair total to match TotalDistance(D_uniform, T) with D the
+  // upper-triangular all-ones matrix: each unordered pair counted once.
+  std::vector<int> sz(static_cast<size_t>(n_) + 1, 1);
+  // children-before-parent order via iterative post-order on ids reachable
+  // from the root.
+  std::vector<NodeId> order;
+  order.reserve(n_);
+  std::vector<NodeId> stack = {root_};
+  while (!stack.empty()) {
+    NodeId cur = stack.back();
+    stack.pop_back();
+    order.push_back(cur);
+    for (NodeId c : nodes_[cur].children)
+      if (c != kNoNode) stack.push_back(c);
+  }
+  Cost total = 0;
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    NodeId cur = *it;
+    if (nodes_[cur].parent != kNoNode) {
+      sz[nodes_[cur].parent] += sz[cur];
+      total += static_cast<Cost>(sz[cur]) * (n_ - sz[cur]);
+    }
+  }
+  return total;
+}
+
+void KAryTree::set_root(NodeId id) {
+  check(id);
+  root_ = id;
+  nodes_[id].parent = kNoNode;
+  nodes_[id].slot_in_parent = -1;
+  nodes_[id].lo = kKeyMin;
+  nodes_[id].hi = kKeyMax;
+}
+
+void KAryTree::install(NodeId id, std::vector<RoutingKey> keys,
+                       std::vector<NodeId> children, RoutingKey lo,
+                       RoutingKey hi) {
+  check(id);
+  if (children.size() != keys.size() + 1)
+    throw TreeError("install: children.size() must be keys.size()+1");
+  if (static_cast<int>(keys.size()) > k_ - 1)
+    throw TreeError("install: too many routing keys for arity");
+  TreeNode& nd = nodes_[id];
+  nd.keys = std::move(keys);
+  nd.children = std::move(children);
+  nd.lo = lo;
+  nd.hi = hi;
+  for (int s = 0; s < static_cast<int>(nd.children.size()); ++s) {
+    NodeId c = nd.children[s];
+    if (c == kNoNode) continue;
+    nodes_[c].parent = id;
+    nodes_[c].slot_in_parent = s;
+  }
+}
+
+void KAryTree::link(NodeId parent, int slot, NodeId child) {
+  check(child);
+  if (parent == kNoNode) {
+    set_root(child);
+    return;
+  }
+  check(parent);
+  TreeNode& p = nodes_[parent];
+  if (slot < 0 || slot >= static_cast<int>(p.children.size()))
+    throw TreeError("link: slot out of range");
+  p.children[slot] = child;
+  nodes_[child].parent = parent;
+  nodes_[child].slot_in_parent = slot;
+}
+
+std::optional<std::string> KAryTree::validate() const {
+  std::ostringstream err;
+  if (root_ == kNoNode) return "no root set";
+  if (nodes_[root_].parent != kNoNode) return "root has a parent";
+
+  // DFS with explicit [lo, hi) ranges; checks structure and search property.
+  struct Frame {
+    NodeId id;
+    RoutingKey lo, hi;
+  };
+  std::vector<bool> seen(static_cast<size_t>(n_) + 1, false);
+  std::vector<Frame> stack = {{root_, kKeyMin, kKeyMax}};
+  int visited = 0;
+  while (!stack.empty()) {
+    Frame f = stack.back();
+    stack.pop_back();
+    const TreeNode& nd = nodes_[f.id];
+    if (seen[f.id]) {
+      err << "node " << f.id << " reached twice (not a tree)";
+      return err.str();
+    }
+    seen[f.id] = true;
+    ++visited;
+    // Open-interval semantics: the id value must lie strictly inside the
+    // node's range (boundary values belong to neither side).
+    if (id_key(f.id) <= f.lo || id_key(f.id) >= f.hi) {
+      err << "node " << f.id << " violates its range [" << f.lo << ", " << f.hi
+          << ")";
+      return err.str();
+    }
+    if (nd.lo != f.lo || nd.hi != f.hi) {
+      err << "node " << f.id << " has stale cached range";
+      return err.str();
+    }
+    if (static_cast<int>(nd.keys.size()) > k_ - 1) {
+      err << "node " << f.id << " has " << nd.keys.size()
+          << " routing keys, max is " << (k_ - 1);
+      return err.str();
+    }
+    if (nd.children.size() != nd.keys.size() + 1) {
+      err << "node " << f.id << " children/keys size mismatch";
+      return err.str();
+    }
+    for (size_t i = 0; i + 1 < nd.keys.size(); ++i) {
+      if (nd.keys[i] >= nd.keys[i + 1]) {
+        err << "node " << f.id << " routing keys not strictly increasing";
+        return err.str();
+      }
+    }
+    for (const RoutingKey rk : nd.keys) {
+      if (rk <= f.lo || rk >= f.hi) {
+        // A key equal to lo would create an empty leading interval that can
+        // never receive a subtree root id; keys outside the range are
+        // always rotation-engine bugs, so reject both.
+        if (!(rk > f.lo && rk < f.hi)) {
+          err << "node " << f.id << " routing key " << rk
+              << " outside open range (" << f.lo << ", " << f.hi << ")";
+          return err.str();
+        }
+      }
+    }
+    for (int s = 0; s < static_cast<int>(nd.children.size()); ++s) {
+      NodeId c = nd.children[s];
+      if (c == kNoNode) continue;
+      if (nodes_[c].parent != f.id || nodes_[c].slot_in_parent != s) {
+        err << "child " << c << " of node " << f.id << " has bad back-link";
+        return err.str();
+      }
+      RoutingKey clo = (s == 0) ? f.lo : nd.keys[s - 1];
+      RoutingKey chi =
+          (s == static_cast<int>(nd.keys.size())) ? f.hi : nd.keys[s];
+      stack.push_back({c, clo, chi});
+    }
+  }
+  if (visited != n_) {
+    err << "only " << visited << " of " << n_ << " nodes reachable from root";
+    return err.str();
+  }
+  return std::nullopt;
+}
+
+}  // namespace san

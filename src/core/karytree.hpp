@@ -1,0 +1,103 @@
+// KAryTree: the k-ary search tree network topology.
+//
+// Nodes are indexed by their permanent identifier (1..n), so a rotation can
+// never "lose" a node: only keys / child links / parent links are rewired.
+// The container exposes a low-level mutation API used by the rotation engine
+// (rotation.hpp) and the static-tree builders, plus read-only queries used by
+// simulation (distance, LCA, routing) and by the validator.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/types.hpp"
+
+namespace san {
+
+/// One network node. `lo`/`hi` cache the identifier range the parent assigns
+/// to this node's subtree ([lo, hi)); they make hop-by-hop *local* routing
+/// possible (a node can decide "target below me or above me" without global
+/// state) and are maintained by the rotation engine in O(1) per rotation.
+struct TreeNode {
+  NodeId id = kNoNode;
+  std::vector<RoutingKey> keys;  ///< strictly increasing, size() <= k-1
+  std::vector<NodeId> children;  ///< size() == keys.size()+1, kNoNode = empty
+  NodeId parent = kNoNode;
+  int slot_in_parent = -1;  ///< index into parent's children, -1 for root
+  RoutingKey lo = kKeyMin;  ///< subtree identifier range, inclusive
+  RoutingKey hi = kKeyMax;  ///< subtree identifier range, exclusive
+};
+
+class KAryTree {
+ public:
+  /// Creates a tree of `n` detached nodes with ids 1..n and arity `k` >= 2.
+  /// A topology must be installed through a builder (tree_builder.hpp) or
+  /// the low-level mutators before queries are meaningful.
+  KAryTree(int k, int n);
+
+  int arity() const { return k_; }
+  int size() const { return n_; }
+  NodeId root() const { return root_; }
+
+  const TreeNode& node(NodeId id) const { return nodes_[check(id)]; }
+  TreeNode& node_mut(NodeId id) { return nodes_[check(id)]; }
+
+  // --- topology queries -----------------------------------------------
+  /// Number of edges on the root path. O(depth).
+  int depth(NodeId id) const;
+  /// Lowest common ancestor. O(depth(u) + depth(v)).
+  NodeId lca(NodeId u, NodeId v) const;
+  /// Tree distance in edges between two nodes. O(depth).
+  int distance(NodeId u, NodeId v) const;
+  /// Nodes of the unique u->v routing path, endpoints included.
+  std::vector<NodeId> route(NodeId u, NodeId v) const;
+  /// True iff `anc` lies on the root path of `id` (anc == id counts).
+  bool is_ancestor(NodeId anc, NodeId id) const;
+
+  /// Descends from the root using the search property only; returns the
+  /// visited path. Throws TreeError if the search property is broken in a
+  /// way that makes `target` unreachable.
+  std::vector<NodeId> search_from_root(NodeId target) const;
+
+  /// Index of the child interval of `id` that contains `key`:
+  /// count of routing keys <= key. O(log k).
+  int interval_of(NodeId id, RoutingKey key) const;
+
+  /// Sum over requests of d(u,v): total routing cost of a demand matrix
+  /// entry stream is computed by callers; this helper returns d over all
+  /// ordered pairs weighted 1 (uniform total distance). O(n^2 * depth).
+  Cost uniform_total_distance() const;
+
+  // --- low-level mutation (rotation engine / builders) -----------------
+  void set_root(NodeId id);
+  /// Installs keys/children on `id` and fixes the parent/slot back-links of
+  /// every non-empty child. Does not touch `id`'s own parent link.
+  void install(NodeId id, std::vector<RoutingKey> keys,
+               std::vector<NodeId> children, RoutingKey lo, RoutingKey hi);
+  /// Points `parent`'s child slot at `child` and sets the back-link.
+  /// `parent == kNoNode` makes `child` the root.
+  void link(NodeId parent, int slot, NodeId child);
+
+  // --- validation -------------------------------------------------------
+  /// Full structural + search-property audit. Returns std::nullopt when the
+  /// tree is a valid k-ary search tree network covering all n nodes, else a
+  /// human-readable description of the first violation found.
+  std::optional<std::string> validate() const;
+
+  /// Convenience: validate() == nullopt.
+  bool valid() const { return !validate().has_value(); }
+
+ private:
+  int check(NodeId id) const {
+    if (id < 1 || id > n_) throw TreeError("node id out of range");
+    return id;
+  }
+
+  int k_;
+  int n_;
+  NodeId root_ = kNoNode;
+  std::vector<TreeNode> nodes_;  // index 0 unused; ids are 1-based
+};
+
+}  // namespace san

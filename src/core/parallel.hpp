@@ -1,0 +1,55 @@
+// Minimal data-parallel helpers (no external dependencies).
+//
+// The O(n^3 k) demand-aware DP and the benchmark parameter sweeps are
+// embarrassingly parallel across independent sub-problems; a chunked
+// parallel_for over std::thread keeps them within laptop-scale wall-clock
+// budgets without pulling in OpenMP.
+#pragma once
+
+#include <algorithm>
+#include <functional>
+#include <thread>
+#include <vector>
+
+namespace san {
+
+/// Number of workers to use when the caller passes 0 ("auto").
+inline int resolve_threads(int requested) {
+  if (requested > 0) return requested;
+  unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+/// Calls fn(i) for i in [begin, end) using `threads` workers (0 = auto).
+/// fn must be safe to call concurrently for distinct i. Blocks until done.
+template <typename Fn>
+void parallel_for(long begin, long end, int threads, Fn&& fn) {
+  const long count = end - begin;
+  if (count <= 0) return;
+  const int workers = std::min<long>(resolve_threads(threads), count);
+  if (workers <= 1) {
+    for (long i = begin; i < end; ++i) fn(i);
+    return;
+  }
+  std::vector<std::thread> pool;
+  pool.reserve(workers);
+  const long chunk = (count + workers - 1) / workers;
+  for (int w = 0; w < workers; ++w) {
+    const long lo = begin + w * chunk;
+    const long hi = std::min(end, lo + chunk);
+    if (lo >= hi) break;
+    pool.emplace_back([lo, hi, &fn] {
+      for (long i = lo; i < hi; ++i) fn(i);
+    });
+  }
+  for (std::thread& t : pool) t.join();
+}
+
+/// Runs a list of independent tasks on up to `threads` workers.
+inline void parallel_tasks(std::vector<std::function<void()>> tasks,
+                           int threads) {
+  parallel_for(0, static_cast<long>(tasks.size()), threads,
+               [&tasks](long i) { tasks[static_cast<size_t>(i)](); });
+}
+
+}  // namespace san

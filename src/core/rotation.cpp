@@ -1,0 +1,254 @@
+#include "core/rotation.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <vector>
+
+namespace san {
+namespace {
+
+// Alternating element/interval sequence produced by merging adjacent nodes.
+// slots.size() == elems.size() + 1; slots[i] is the (possibly empty) subtree
+// sitting in the interval (elems[i-1], elems[i]) with range sentinels at the
+// ends. Every interval holds at most one subtree because each participating
+// node's children occupy disjoint consecutive intervals.
+struct Merged {
+  std::vector<RoutingKey> elems;
+  std::vector<NodeId> slots;
+};
+
+Merged expand(const KAryTree& tree, NodeId id) {
+  const TreeNode& nd = tree.node(id);
+  return Merged{nd.keys, nd.children};
+}
+
+// Replaces slot `at` (which must currently hold `child`) with `child`'s own
+// keys and child slots.
+void splice(Merged& m, int at, const KAryTree& tree, NodeId child) {
+  assert(m.slots[at] == child);
+  const TreeNode& nd = tree.node(child);
+  m.slots.erase(m.slots.begin() + at);
+  m.slots.insert(m.slots.begin() + at, nd.children.begin(), nd.children.end());
+  m.elems.insert(m.elems.begin() + at, nd.keys.begin(), nd.keys.end());
+}
+
+int interval_index(const Merged& m, RoutingKey value) {
+  return static_cast<int>(
+      std::upper_bound(m.elems.begin(), m.elems.end(), value) -
+      m.elems.begin());
+}
+
+// Interval-index constraints for a block choice. `hard_*` marks the slot
+// range of the splayed node's former children: a pushed-down ancestor's new
+// subtree must stay disjoint from them or the splay potential argument (and
+// with it the amortized balance) breaks. `soft` marks the interval whose
+// inclusion turns the paper's k-splay case 1 (siblings) into case 2
+// (nesting chain); it is taken only when unavoidable.
+struct BlockAvoid {
+  int hard_begin = 0, hard_end = -1;  // inclusive, empty when begin > end
+  int soft = -1;
+};
+
+// Carves a contiguous block of `s` internal elements (s+1 intervals) out of
+// `m`, covering node `id`'s identifier, and installs it as node `id`. The
+// block is replaced in `m` by a single slot holding `id`; the new interval
+// index of that slot is returned. `outer_lo`/`outer_hi` bound the whole
+// merged sequence.
+//
+// Interval semantics are open: a boundary value belongs to neither side
+// (key values are globally unique, so no target can be ambiguous). Hence
+// "covering" has two cases: if the node's own id key is one of the merged
+// elements, the block must *contain that element* — the node ends in the
+// routing-based position with its id as one of its own boundaries; if not,
+// the id value lies strictly inside an interval and the block must span
+// that interval.
+int collapse_block(KAryTree& tree, Merged& m, NodeId id, int s,
+                   BlockPlacement placement, RoutingKey outer_lo,
+                   RoutingKey outer_hi, BlockAvoid avoid = {}) {
+  const int M = static_cast<int>(m.elems.size());
+  assert(s >= 0 && s <= M);
+  const RoutingKey v = id_key(id);
+  const auto lb = std::lower_bound(m.elems.begin(), m.elems.end(), v);
+  const bool own_key_present = lb != m.elems.end() && *lb == v;
+  int j = static_cast<int>(lb - m.elems.begin());
+  int a_min, a_max;
+  if (own_key_present) {
+    if (s == 0) s = 1;  // must take at least the own id key
+    a_min = std::max(0, j - s + 1);
+    a_max = std::min(j, M - s);
+  } else {
+    a_min = std::max(0, j - s);
+    a_max = std::min(j, M - s);
+  }
+  assert(a_min <= a_max);
+
+  // Score every feasible window (there are at most k of them): hard
+  // violations dominate, then soft ones, then the placement preference.
+  const int preferred = (placement == BlockPlacement::kLeftmost) ? a_min
+                        : (placement == BlockPlacement::kRightmost)
+                            ? a_max
+                            : std::clamp(j - s / 2, a_min, a_max);
+  int a = preferred;
+  int best_score = INT32_MAX;
+  for (int cand = a_min; cand <= a_max; ++cand) {
+    const int lo_iv = cand, hi_iv = cand + s;  // inclusive interval range
+    int score = 0;
+    if (avoid.hard_begin <= avoid.hard_end && lo_iv <= avoid.hard_end &&
+        hi_iv >= avoid.hard_begin)
+      score += 4;
+    if (avoid.soft >= lo_iv && avoid.soft <= hi_iv) score += 2;
+    score = score * (M + 1) + std::abs(cand - preferred);
+    if (score < best_score) {
+      best_score = score;
+      a = cand;
+    }
+  }
+
+  const RoutingKey lo = (a == 0) ? outer_lo : m.elems[a - 1];
+  const RoutingKey hi = (a + s == M) ? outer_hi : m.elems[a + s];
+  std::vector<RoutingKey> keys(m.elems.begin() + a, m.elems.begin() + a + s);
+  std::vector<NodeId> children(m.slots.begin() + a,
+                               m.slots.begin() + a + s + 1);
+  tree.install(id, std::move(keys), std::move(children), lo, hi);
+
+  m.elems.erase(m.elems.begin() + a, m.elems.begin() + a + s);
+  m.slots.erase(m.slots.begin() + a, m.slots.begin() + a + s + 1);
+  m.slots.insert(m.slots.begin() + a, id);
+  return a;
+}
+
+int clamp_block_size(int desired, int total_remaining, int budget_after,
+                     int k) {
+  // The block keeps `size` elements; everything not yet assigned must still
+  // fit into nodes holding at most k-1 elements each (`budget_after` counts
+  // how many such nodes remain).
+  const int lower = std::max(0, total_remaining - budget_after * (k - 1));
+  const int upper = std::min(k - 1, total_remaining);
+  return std::clamp(desired, lower, upper);
+}
+
+struct EdgeSnapshot {
+  std::vector<NodeId> nodes;
+  std::vector<NodeId> parents;
+};
+
+EdgeSnapshot snapshot(const KAryTree& tree, const Merged& m,
+                      std::initializer_list<NodeId> protagonists) {
+  EdgeSnapshot snap;
+  for (NodeId s : m.slots)
+    if (s != kNoNode) snap.nodes.push_back(s);
+  for (NodeId p : protagonists) snap.nodes.push_back(p);
+  snap.parents.reserve(snap.nodes.size());
+  for (NodeId nd : snap.nodes) snap.parents.push_back(tree.node(nd).parent);
+  return snap;
+}
+
+RotationResult diff(const KAryTree& tree, const EdgeSnapshot& snap) {
+  RotationResult res;
+  for (size_t i = 0; i < snap.nodes.size(); ++i) {
+    NodeId now = tree.node(snap.nodes[i]).parent;
+    NodeId before = snap.parents[i];
+    if (now == before) continue;
+    ++res.parent_changes;
+    if (before != kNoNode) ++res.edge_changes;  // link removed
+    if (now != kNoNode) ++res.edge_changes;     // link added
+  }
+  return res;
+}
+
+}  // namespace
+
+RotationResult k_semi_splay(KAryTree& tree, NodeId x,
+                            const RotationPolicy& policy) {
+  const TreeNode& xn = tree.node(x);
+  const NodeId p = xn.parent;
+  if (p == kNoNode) throw TreeError("k_semi_splay: node is the root");
+  const int x_slot = xn.slot_in_parent;
+  const TreeNode& pn = tree.node(p);
+  const NodeId g = pn.parent;
+  const int g_slot = pn.slot_in_parent;
+  const RoutingKey lo = pn.lo;
+  const RoutingKey hi = pn.hi;
+  const int k = tree.arity();
+
+  Merged m = expand(tree, p);
+  splice(m, x_slot, tree, x);
+  const EdgeSnapshot snap = snapshot(tree, m, {x, p});
+
+  const int M = static_cast<int>(m.elems.size());
+  const int desired =
+      policy.sizing == BlockSizing::kGreedyMax ? k - 1 : (M + 1) / 2;
+  const int s_p = clamp_block_size(desired, M, /*budget_after=*/1, k);
+  BlockAvoid p_avoid;
+  if (policy.case_preference) p_avoid.soft = interval_index(m, id_key(x));
+  collapse_block(tree, m, p, s_p, policy.placement, lo, hi, p_avoid);
+
+  tree.install(x, std::move(m.elems), std::move(m.slots), lo, hi);
+  if (g == kNoNode)
+    tree.set_root(x);
+  else
+    tree.link(g, g_slot, x);
+  return diff(tree, snap);
+}
+
+RotationResult k_splay(KAryTree& tree, NodeId x, const RotationPolicy& policy) {
+  const TreeNode& xn = tree.node(x);
+  const NodeId p = xn.parent;
+  if (p == kNoNode) throw TreeError("k_splay: node is the root");
+  const int x_slot = xn.slot_in_parent;
+  const TreeNode& pn = tree.node(p);
+  const NodeId g = pn.parent;
+  if (g == kNoNode) throw TreeError("k_splay: node has no grandparent");
+  const int p_slot = pn.slot_in_parent;
+  const TreeNode& gn = tree.node(g);
+  const NodeId top = gn.parent;
+  const int top_slot = gn.slot_in_parent;
+  const RoutingKey lo = gn.lo;
+  const RoutingKey hi = gn.hi;
+  const int k = tree.arity();
+
+  Merged m = expand(tree, g);
+  splice(m, p_slot, tree, p);
+  // After splicing p's arrays at slot p_slot, p's former child slots begin
+  // at index p_slot; x sits at offset x_slot within them.
+  const int x_begin = p_slot + x_slot;
+  const int x_len = static_cast<int>(tree.node(x).children.size());
+  splice(m, x_begin, tree, x);
+  const EdgeSnapshot snap = snapshot(tree, m, {x, p, g});
+
+  const int M = static_cast<int>(m.elems.size());
+  const bool greedy = policy.sizing == BlockSizing::kGreedyMax;
+  const int s_g = clamp_block_size(greedy ? k - 1 : (M + 2) / 3, M,
+                                   /*budget_after=*/2, k);
+  // g's new subtree must not swallow x's former children (hard constraint:
+  // that disjointness is what the access-lemma potential argument rests
+  // on), and prefers not to swallow p's identifier interval, which would
+  // force p to nest under g (paper case 2, the zig-zig analogue).
+  BlockAvoid g_avoid;
+  if (policy.case_preference) {
+    g_avoid.hard_begin = x_begin;
+    g_avoid.hard_end = x_begin + x_len - 1;
+    g_avoid.soft = interval_index(m, id_key(p));
+  }
+  const int g_slot =
+      collapse_block(tree, m, g, s_g, policy.placement, lo, hi, g_avoid);
+  // Re-read the remaining element count: collapse_block may take one extra
+  // element when the own-id-key rule forces a non-empty block.
+  const int M2 = static_cast<int>(m.elems.size());
+  const int s_p = clamp_block_size(greedy ? k - 1 : (M2 + 1) / 2, M2,
+                                   /*budget_after=*/1, k);
+  // p prefers to stay g's sibling (case 1); when its identifier interval
+  // is swallowed by g's block it chains below (case 2).
+  BlockAvoid p_avoid;
+  if (policy.case_preference) p_avoid.soft = g_slot;
+  collapse_block(tree, m, p, s_p, policy.placement, lo, hi, p_avoid);
+
+  tree.install(x, std::move(m.elems), std::move(m.slots), lo, hi);
+  if (top == kNoNode)
+    tree.set_root(x);
+  else
+    tree.link(top, top_slot, x);
+  return diff(tree, snap);
+}
+
+}  // namespace san

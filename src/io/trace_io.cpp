@@ -1,0 +1,62 @@
+#include "io/trace_io.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "core/types.hpp"
+
+namespace san {
+
+void write_trace(std::ostream& out, const Trace& trace) {
+  out << "san-trace v1 " << trace.n << " " << trace.size() << "\n";
+  for (const Request& r : trace.requests) out << r.src << " " << r.dst << "\n";
+  if (!out) throw TreeError("write_trace: stream failure");
+}
+
+void write_trace_file(const std::string& path, const Trace& trace) {
+  std::ofstream out(path);
+  if (!out) throw TreeError("write_trace_file: cannot open " + path);
+  write_trace(out, trace);
+}
+
+Trace read_trace(std::istream& in) {
+  std::string magic, version;
+  int n = 0;
+  std::size_t m = 0;
+  if (!(in >> magic >> version >> n >> m) || magic != "san-trace" ||
+      version != "v1")
+    throw TreeError("read_trace: bad header (expected 'san-trace v1 n m')");
+  if (n < 2) throw TreeError("read_trace: node count must be >= 2");
+
+  Trace trace;
+  trace.n = n;
+  trace.requests.reserve(m);
+  std::string line;
+  std::getline(in, line);  // finish header line
+  while (trace.requests.size() < m && std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream ls(line);
+    long src = 0, dst = 0;
+    if (!(ls >> src >> dst))
+      throw TreeError("read_trace: malformed request line: " + line);
+    if (src < 1 || src > n || dst < 1 || dst > n)
+      throw TreeError("read_trace: node id out of range in: " + line);
+    if (src == dst)
+      throw TreeError("read_trace: self-loop request in: " + line);
+    trace.requests.push_back(
+        {static_cast<NodeId>(src), static_cast<NodeId>(dst)});
+  }
+  if (trace.requests.size() != m)
+    throw TreeError("read_trace: truncated body (expected " +
+                    std::to_string(m) + " requests, got " +
+                    std::to_string(trace.requests.size()) + ")");
+  return trace;
+}
+
+Trace read_trace_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw TreeError("read_trace_file: cannot open " + path);
+  return read_trace(in);
+}
+
+}  // namespace san

@@ -1,0 +1,26 @@
+// Trace (de)serialization so that real datacenter traces — the inputs the
+// paper evaluates on — can be fed into the simulator, and synthetic traces
+// can be archived for reproducibility.
+//
+// Format ("san-trace v1"): a one-line header `san-trace v1 <n> <m>`
+// followed by m lines of `src dst` (1-based node ids). Whitespace
+// separated; lines starting with '#' are comments.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "workload/request.hpp"
+
+namespace san {
+
+/// Writes `trace` in san-trace v1 format. Throws TreeError on I/O failure.
+void write_trace(std::ostream& out, const Trace& trace);
+void write_trace_file(const std::string& path, const Trace& trace);
+
+/// Parses a san-trace v1 stream. Throws TreeError on malformed input
+/// (bad header, out-of-range ids, self-loops, truncated body).
+Trace read_trace(std::istream& in);
+Trace read_trace_file(const std::string& path);
+
+}  // namespace san

@@ -1,0 +1,106 @@
+#include "io/tree_io.hpp"
+
+#include <fstream>
+#include <sstream>
+
+namespace san {
+namespace {
+
+std::string encode_key(RoutingKey k) {
+  if (k == kKeyMin) return "min";
+  if (k == kKeyMax) return "max";
+  return std::to_string(k);
+}
+
+RoutingKey decode_key(const std::string& s) {
+  if (s == "min") return kKeyMin;
+  if (s == "max") return kKeyMax;
+  return static_cast<RoutingKey>(std::stoll(s));
+}
+
+}  // namespace
+
+void write_tree(std::ostream& out, const KAryTree& tree) {
+  out << "san-tree v1 " << tree.arity() << " " << tree.size() << " "
+      << tree.root() << "\n";
+  for (NodeId id = 1; id <= tree.size(); ++id) {
+    const TreeNode& nd = tree.node(id);
+    out << id << " " << encode_key(nd.lo) << " " << encode_key(nd.hi) << " "
+        << nd.keys.size();
+    for (RoutingKey k : nd.keys) out << " " << k;
+    for (NodeId c : nd.children) out << " " << c;
+    out << "\n";
+  }
+  if (!out) throw TreeError("write_tree: stream failure");
+}
+
+void write_tree_file(const std::string& path, const KAryTree& tree) {
+  std::ofstream out(path);
+  if (!out) throw TreeError("write_tree_file: cannot open " + path);
+  write_tree(out, tree);
+}
+
+KAryTree read_tree(std::istream& in) {
+  std::string magic, version;
+  int k = 0, n = 0;
+  NodeId root = kNoNode;
+  if (!(in >> magic >> version >> k >> n >> root) || magic != "san-tree" ||
+      version != "v1")
+    throw TreeError("read_tree: bad header (expected 'san-tree v1 k n root')");
+  KAryTree tree(k, n);
+  for (int i = 0; i < n; ++i) {
+    long id = 0;
+    std::string lo_s, hi_s;
+    size_t num_keys = 0;
+    if (!(in >> id >> lo_s >> hi_s >> num_keys))
+      throw TreeError("read_tree: truncated node record");
+    if (id < 1 || id > n) throw TreeError("read_tree: node id out of range");
+    std::vector<RoutingKey> keys(num_keys);
+    for (RoutingKey& key : keys) {
+      std::string s;
+      if (!(in >> s)) throw TreeError("read_tree: truncated key list");
+      key = decode_key(s);
+    }
+    std::vector<NodeId> children(num_keys + 1);
+    for (NodeId& c : children) {
+      long v = 0;
+      if (!(in >> v)) throw TreeError("read_tree: truncated child list");
+      if (v < 0 || v > n) throw TreeError("read_tree: child id out of range");
+      c = static_cast<NodeId>(v);
+    }
+    tree.install(static_cast<NodeId>(id), std::move(keys),
+                 std::move(children), decode_key(lo_s), decode_key(hi_s));
+  }
+  tree.set_root(root);
+  if (auto err = tree.validate())
+    throw TreeError("read_tree: loaded topology invalid: " + *err);
+  return tree;
+}
+
+KAryTree read_tree_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw TreeError("read_tree_file: cannot open " + path);
+  return read_tree(in);
+}
+
+std::string to_dot(const KAryTree& tree, const std::string& graph_name) {
+  std::ostringstream out;
+  out << "digraph " << graph_name << " {\n";
+  out << "  node [shape=record];\n";
+  for (NodeId id = 1; id <= tree.size(); ++id) {
+    const TreeNode& nd = tree.node(id);
+    out << "  n" << id << " [label=\"" << id << " |";
+    for (size_t i = 0; i < nd.keys.size(); ++i)
+      out << (i ? " " : " ") << nd.keys[i];
+    out << "\"];\n";
+    for (size_t s = 0; s < nd.children.size(); ++s) {
+      if (nd.children[s] == kNoNode) continue;
+      out << "  n" << id << " -> n" << nd.children[s] << " [label=\"slot "
+          << s << "\"];\n";
+    }
+  }
+  out << "}\n";
+  return out.str();
+}
+
+}  // namespace san

@@ -1,0 +1,30 @@
+// Topology (de)serialization and Graphviz export.
+//
+// san-tree v1 format: header `san-tree v1 <k> <n> <root>`, then one line
+// per node: `<id> <lo> <hi> <num_keys> <key...> <child...>` with
+// children = num_keys + 1 slots (0 = empty). Ranges use the sentinel
+// encoding "min"/"max" for kKeyMin/kKeyMax. Loaded trees are validated
+// before being returned, so a stored file can be trusted as a topology
+// checkpoint (e.g. to resume a long self-adjustment run).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "core/karytree.hpp"
+
+namespace san {
+
+void write_tree(std::ostream& out, const KAryTree& tree);
+void write_tree_file(const std::string& path, const KAryTree& tree);
+
+/// Parses and validates a san-tree v1 stream; throws TreeError on
+/// malformed input or an invalid topology.
+KAryTree read_tree(std::istream& in);
+KAryTree read_tree_file(const std::string& path);
+
+/// Graphviz dot rendering: nodes labelled "id [keys]", edges parent->child
+/// annotated with the child's interval. Empty slots are omitted.
+std::string to_dot(const KAryTree& tree, const std::string& graph_name = "san");
+
+}  // namespace san

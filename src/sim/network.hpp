@@ -1,0 +1,88 @@
+// Uniform Network interface over every topology the evaluation compares:
+// self-adjusting (k-ary SplayNet, (k+1)-SplayNet, binary SplayNet) and
+// static (full tree, optimal DP tree, centroid tree).
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "core/binary_splaynet.hpp"
+#include "core/splaynet.hpp"
+
+namespace san {
+
+class Network {
+ public:
+  virtual ~Network() = default;
+  virtual ServeResult serve(NodeId u, NodeId v) = 0;
+  virtual int size() const = 0;
+  virtual std::string name() const = 0;
+};
+
+/// Static tree: serving is pure routing, no adjustment ever happens.
+class StaticTreeNetwork final : public Network {
+ public:
+  StaticTreeNetwork(KAryTree tree, std::string name)
+      : tree_(std::move(tree)), name_(std::move(name)) {
+    if (auto err = tree_.validate())
+      throw TreeError("StaticTreeNetwork: " + *err);
+  }
+
+  ServeResult serve(NodeId u, NodeId v) override {
+    ServeResult r;
+    if (u != v) r.routing_cost = tree_.distance(u, v);
+    return r;
+  }
+  int size() const override { return tree_.size(); }
+  std::string name() const override { return name_; }
+  const KAryTree& tree() const { return tree_; }
+
+ private:
+  KAryTree tree_;
+  std::string name_;
+};
+
+class KArySplayNetwork final : public Network {
+ public:
+  explicit KArySplayNetwork(KArySplayNet net) : net_(std::move(net)) {}
+
+  ServeResult serve(NodeId u, NodeId v) override { return net_.serve(u, v); }
+  int size() const override { return net_.size(); }
+  std::string name() const override {
+    return std::to_string(net_.arity()) + "-ary SplayNet";
+  }
+  const KArySplayNet& net() const { return net_; }
+
+ private:
+  KArySplayNet net_;
+};
+
+class CentroidSplayNetwork final : public Network {
+ public:
+  explicit CentroidSplayNetwork(CentroidSplayNet net) : net_(std::move(net)) {}
+
+  ServeResult serve(NodeId u, NodeId v) override { return net_.serve(u, v); }
+  int size() const override { return net_.size(); }
+  std::string name() const override {
+    return std::to_string(net_.arity() + 1) + "-SplayNet";
+  }
+  const CentroidSplayNet& net() const { return net_; }
+
+ private:
+  CentroidSplayNet net_;
+};
+
+class BinarySplayNetwork final : public Network {
+ public:
+  explicit BinarySplayNetwork(int n) : net_(n) {}
+
+  ServeResult serve(NodeId u, NodeId v) override { return net_.serve(u, v); }
+  int size() const override { return net_.size(); }
+  std::string name() const override { return "SplayNet"; }
+  const BinarySplayNet& net() const { return net_; }
+
+ private:
+  BinarySplayNet net_;
+};
+
+}  // namespace san

@@ -1,0 +1,26 @@
+#include "sim/simulator.hpp"
+
+namespace san {
+
+SimResult run_trace(Network& net, const Trace& trace) {
+  SimResult res;
+  for (const Request& r : trace.requests) {
+    const ServeResult s = net.serve(r.src, r.dst);
+    res.routing_cost += s.routing_cost;
+    res.rotation_count += s.rotations;
+    res.edge_changes += s.edge_changes;
+    ++res.requests;
+  }
+  return res;
+}
+
+SimResult run_trace_static(const KAryTree& tree, const Trace& trace) {
+  SimResult res;
+  for (const Request& r : trace.requests) {
+    if (r.src != r.dst) res.routing_cost += tree.distance(r.src, r.dst);
+    ++res.requests;
+  }
+  return res;
+}
+
+}  // namespace san

@@ -1,0 +1,44 @@
+// Trace simulator: replays a communication sequence over a Network and
+// accounts costs per the Section 2 model with the Section 5 experimental
+// conventions (routing hop = 1, rotation = 1).
+#pragma once
+
+#include <cstdint>
+
+#include "sim/network.hpp"
+#include "workload/request.hpp"
+
+namespace san {
+
+struct SimResult {
+  Cost routing_cost = 0;    ///< sum of pre-adjustment path lengths
+  Cost rotation_count = 0;  ///< k-splay / k-semi-splay / splay steps
+  Cost edge_changes = 0;    ///< links added + removed (Section 2 adjustment)
+  std::size_t requests = 0;
+
+  /// Experimental-section total: unit routing + unit rotation cost.
+  Cost total_cost() const { return routing_cost + rotation_count; }
+  /// Section 2 model total: routing + links added/removed.
+  Cost model_cost() const { return routing_cost + edge_changes; }
+  double avg_request_cost() const {
+    return requests == 0
+               ? 0.0
+               : static_cast<double>(total_cost()) /
+                     static_cast<double>(requests);
+  }
+  double avg_routing_cost() const {
+    return requests == 0
+               ? 0.0
+               : static_cast<double>(routing_cost) /
+                     static_cast<double>(requests);
+  }
+};
+
+/// Replays `trace` over `net`, mutating it.
+SimResult run_trace(Network& net, const Trace& trace);
+
+/// Static-tree shortcut (no virtual dispatch; used by benches to cost a
+/// fixed topology against a long trace).
+SimResult run_trace_static(const KAryTree& tree, const Trace& trace);
+
+}  // namespace san

@@ -1,0 +1,91 @@
+#include "static_trees/centroid_tree.hpp"
+
+#include <algorithm>
+
+namespace san {
+namespace {
+
+// Unrooted adjacency representation used to re-root the (k+1)-degree
+// centroid structure at a leaf.
+struct Adjacency {
+  std::vector<std::vector<int>> nbrs;
+
+  int add() {
+    nbrs.emplace_back();
+    return static_cast<int>(nbrs.size()) - 1;
+  }
+  void link(int a, int b) {
+    nbrs[static_cast<size_t>(a)].push_back(b);
+    nbrs[static_cast<size_t>(b)].push_back(a);
+  }
+};
+
+int add_shape(Adjacency& adj, const Shape& s) {
+  const int id = adj.add();
+  for (const Shape& kid : s.kids) adj.link(id, add_shape(adj, kid));
+  return id;
+}
+
+Shape to_rooted_shape(const Adjacency& adj, int node, int parent) {
+  Shape s;
+  for (int nbr : adj.nbrs[static_cast<size_t>(node)]) {
+    if (nbr == parent) continue;
+    s.kids.push_back(to_rooted_shape(adj, nbr, node));
+  }
+  s.self_pos = static_cast<int>(s.kids.size()) / 2;
+  s.size = 1;
+  for (const Shape& kid : s.kids) s.size += kid.size;
+  return s;
+}
+
+}  // namespace
+
+std::vector<int> centroid_subtree_sizes(int k, int n) {
+  if (k < 2) throw TreeError("centroid tree needs k >= 2");
+  if (n < 1) throw TreeError("centroid tree needs n >= 1");
+  // F = size of a weakly-complete subtree with all of the whole tree's full
+  // levels; grow while one more fully-filled level fits entirely.
+  long long full = 0;
+  while (1 + (static_cast<long long>(k) + 1) * (full * k + 1) <= n)
+    full = full * k + 1;
+  const long long last_level_cap = full * (k - 1) + 1;  // = k^H
+  long long rem = n - 1 - (k + 1) * full;
+  std::vector<int> sizes(static_cast<size_t>(k) + 1);
+  for (int i = 0; i <= k; ++i) {
+    const long long extra = std::min(rem, last_level_cap);
+    sizes[static_cast<size_t>(i)] = static_cast<int>(full + extra);
+    rem -= extra;
+  }
+  return sizes;
+}
+
+Shape centroid_shape(int k, int n) {
+  if (n == 1) return Shape{};
+  const std::vector<int> sizes = centroid_subtree_sizes(k, n);
+
+  Adjacency adj;
+  const int centroid = adj.add();
+  for (int sz : sizes) {
+    if (sz == 0) continue;
+    adj.link(centroid, add_shape(adj, make_complete_shape(sz, k)));
+  }
+  // Root at a leaf (Remark 7: "rooting at some leaf"); any leaf gives the
+  // same total distance since pairwise distances ignore the root.
+  int leaf = -1;
+  for (int i = 0; i < static_cast<int>(adj.nbrs.size()); ++i) {
+    if (adj.nbrs[static_cast<size_t>(i)].size() == 1) {
+      leaf = i;
+      break;
+    }
+  }
+  if (leaf < 0) leaf = centroid;  // n == 2 edge: both nodes degree 1 anyway
+  Shape s = to_rooted_shape(adj, leaf, -1);
+  s.recompute_sizes();
+  return s;
+}
+
+KAryTree centroid_kary_tree(int k, int n) {
+  return build_from_shape(k, centroid_shape(k, n));
+}
+
+}  // namespace san

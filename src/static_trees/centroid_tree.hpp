@@ -1,0 +1,33 @@
+// Centroid static k-ary search tree (Section 3.2 / Appendix B).
+//
+// The centroid (k+1)-degree tree has a centroid node joined to k+1
+// weakly-complete k-ary subtrees of near-equal size, all levels of the
+// whole tree full except the last, whose leaves are grouped to the left
+// (Definition 5 / Figure 2). Rooting the unrooted structure at a leaf and
+// assigning identifiers in order yields a valid k-ary search tree (Remark 7)
+// in O(n) total time (Theorem 8). For the uniform workload its total
+// distance is within O(n^2 k log k) of the optimal (k+1)-degree tree
+// (Theorem 6) and experimentally *equal* to the optimum for n < 10^3,
+// k <= 10 (Remark 10) — reproduced by bench/remark10_centroid_optimality.
+#pragma once
+
+#include <vector>
+
+#include "core/karytree.hpp"
+#include "core/shape.hpp"
+
+namespace san {
+
+/// Sizes of the k+1 weakly-complete subtrees around the centroid for a
+/// centroid tree on n nodes (n >= 1). Exposed for tests: sizes differ by at
+/// most one "last level" and sum to n-1.
+std::vector<int> centroid_subtree_sizes(int k, int n);
+
+/// The rooted shape of the centroid k-ary search tree: the (k+1)-degree
+/// centroid structure re-rooted at one of its leaves.
+Shape centroid_shape(int k, int n);
+
+/// Builds the centroid k-ary search tree over ids 1..n in O(n).
+KAryTree centroid_kary_tree(int k, int n);
+
+}  // namespace san

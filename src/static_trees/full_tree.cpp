@@ -1,0 +1,11 @@
+#include "static_trees/full_tree.hpp"
+
+#include "core/shape.hpp"
+
+namespace san {
+
+KAryTree full_kary_tree(int k, int n) {
+  return build_from_shape(k, make_complete_shape(n, k));
+}
+
+}  // namespace san

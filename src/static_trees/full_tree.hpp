@@ -1,0 +1,15 @@
+// Full (complete) k-ary search tree: the demand-oblivious static baseline
+// of the evaluation ("Full Tree" rows of Tables 1-7, "Full Binary Net" of
+// Table 8). Lemma 9 shows its uniform-workload total distance is
+// n^2 log_k n + O(n^2), within O(n^2) of optimal.
+#pragma once
+
+#include "core/karytree.hpp"
+
+namespace san {
+
+/// Complete k-ary search tree over ids 1..n (every level full except the
+/// last, which is filled left to right).
+KAryTree full_kary_tree(int k, int n);
+
+}  // namespace san

@@ -1,0 +1,30 @@
+// Offline optimal static routing-based k-ary search tree network
+// (Theorem 2 / Appendix A.1).
+//
+// Dynamic programming over id segments: dp[t][i][j] is the minimal cost of
+// partitioning segment [i, j] into t child trees, where the cost of a
+// single tree on [i, j] includes W[i, j], the demand crossing the segment
+// boundary (the potential of the edge to its future parent). The t = 1
+// transition picks the root r and the number of children on each side
+// (dl + dr <= k) using the prefix-minimum table dp2[t] = min_{y<=t} dp[y],
+// which removes a factor k and yields O(n^3 k) time and O(n^2 k) memory.
+// Segments of equal length are independent, so each length-diagonal is
+// processed with parallel_for.
+#pragma once
+
+#include "core/karytree.hpp"
+#include "workload/demand_matrix.hpp"
+
+namespace san {
+
+struct OptimalTreeResult {
+  KAryTree tree;
+  Cost total_distance = 0;  ///< TotalDistance(D, tree); equals the DP value
+};
+
+/// Computes an optimal static routing-based k-ary search tree network for
+/// demand `D`. `threads` = 0 uses all hardware threads.
+OptimalTreeResult optimal_routing_based_tree(int k, const DemandMatrix& D,
+                                             int threads = 0);
+
+}  // namespace san

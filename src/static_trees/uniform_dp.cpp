@@ -1,0 +1,107 @@
+#include "static_trees/uniform_dp.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "core/shape.hpp"
+
+namespace san {
+namespace {
+
+struct UniformDp {
+  int k, n;
+  // U1[l]: optimal cost of a single subtree on l nodes, including the
+  // potential l*(n-l) of its parent edge.
+  std::vector<Cost> u1;
+  // P[t][m]: optimal cost of exactly t non-empty subtrees totalling m
+  // nodes; P2[t][m] = min over <= t parts (P2[.][0] = 0).
+  std::vector<std::vector<Cost>> p, p2;
+  std::vector<std::vector<int>> split;        // argmin head size for P[t][m]
+  std::vector<std::vector<signed char>> cnt;  // argmin part count for P2
+  std::vector<signed char> kids_of;           // part count under U1[l]
+
+  explicit UniformDp(int k_in, int n_in) : k(k_in), n(n_in) {
+    u1.assign(static_cast<size_t>(n) + 1, kInfiniteCost);
+    p.assign(static_cast<size_t>(k) + 1,
+             std::vector<Cost>(static_cast<size_t>(n) + 1, kInfiniteCost));
+    p2 = p;
+    split.assign(static_cast<size_t>(k) + 1,
+                 std::vector<int>(static_cast<size_t>(n) + 1, -1));
+    cnt.assign(static_cast<size_t>(k) + 1,
+               std::vector<signed char>(static_cast<size_t>(n) + 1, -1));
+    kids_of.assign(static_cast<size_t>(n) + 1, 0);
+    for (int t = 0; t <= k; ++t) {
+      p2[static_cast<size_t>(t)][0] = 0;
+      cnt[static_cast<size_t>(t)][0] = 0;
+    }
+
+    for (int l = 1; l <= n; ++l) {
+      const Cost above = static_cast<Cost>(l) * (n - l);
+      u1[static_cast<size_t>(l)] = above + p2[static_cast<size_t>(k)][l - 1];
+      kids_of[static_cast<size_t>(l)] = cnt[static_cast<size_t>(k)][l - 1];
+
+      p[1][static_cast<size_t>(l)] = u1[static_cast<size_t>(l)];
+      for (int t = 2; t <= k; ++t) {
+        Cost best = kInfiniteCost;
+        int best_a = -1;
+        for (int a = 1; a <= l - (t - 1); ++a) {
+          const Cost tail = p[static_cast<size_t>(t - 1)][l - a];
+          if (tail >= kInfiniteCost) continue;
+          const Cost cand = u1[static_cast<size_t>(a)] + tail;
+          if (cand < best) {
+            best = cand;
+            best_a = a;
+          }
+        }
+        p[static_cast<size_t>(t)][static_cast<size_t>(l)] = best;
+        split[static_cast<size_t>(t)][static_cast<size_t>(l)] = best_a;
+      }
+      Cost run = kInfiniteCost;
+      signed char argmin = -1;
+      for (int t = 1; t <= k; ++t) {
+        if (p[static_cast<size_t>(t)][static_cast<size_t>(l)] < run) {
+          run = p[static_cast<size_t>(t)][static_cast<size_t>(l)];
+          argmin = static_cast<signed char>(t);
+        }
+        p2[static_cast<size_t>(t)][static_cast<size_t>(l)] = run;
+        cnt[static_cast<size_t>(t)][static_cast<size_t>(l)] = argmin;
+      }
+    }
+  }
+
+  Shape rebuild(int l) const {
+    Shape s;
+    s.size = l;
+    int m = l - 1;
+    int t = kids_of[static_cast<size_t>(l)];
+    while (t > 1) {
+      const int a = split[static_cast<size_t>(t)][static_cast<size_t>(m)];
+      s.kids.push_back(rebuild(a));
+      m -= a;
+      --t;
+    }
+    if (t == 1) s.kids.push_back(rebuild(m));
+    s.self_pos = static_cast<int>(s.kids.size()) / 2;
+    return s;
+  }
+};
+
+}  // namespace
+
+UniformTreeResult optimal_uniform_tree(int k, int n) {
+  if (k < 2) throw TreeError("optimal_uniform_tree: k must be >= 2");
+  if (n < 1) throw TreeError("optimal_uniform_tree: n must be >= 1");
+  UniformDp dp(k, n);
+  Shape shape = dp.rebuild(n);
+  shape.recompute_sizes();
+  return {build_from_shape(k, shape), dp.u1[static_cast<size_t>(n)]};
+}
+
+Cost optimal_uniform_cost(int k, int n) {
+  if (k < 2) throw TreeError("optimal_uniform_cost: k must be >= 2");
+  if (n < 1) throw TreeError("optimal_uniform_cost: n must be >= 1");
+  UniformDp dp(k, n);
+  return dp.u1[static_cast<size_t>(n)];
+}
+
+}  // namespace san

@@ -1,0 +1,31 @@
+// Offline optimal static k-ary search tree for the uniform workload
+// (Theorem 4 / Appendix A.2).
+//
+// Lemmas 18-19: under uniform demand both W and the optimal segment cost
+// depend only on the segment *length*, so the general O(n^3 k) program
+// collapses to one dimension. The remaining program is over tree shapes:
+// U1[l] = l*(n-l) + best partition of l-1 nodes into at most k subtrees,
+// O(n^2 k) time, O(n k) memory. The resulting tree need not be
+// routing-based (Section 3.1 remark) — any shape with at most k children
+// per node can be labelled in order to satisfy the search property.
+#pragma once
+
+#include "core/karytree.hpp"
+#include "core/types.hpp"
+
+namespace san {
+
+struct UniformTreeResult {
+  KAryTree tree;
+  /// TotalDistance over the finite uniform workload (every unordered pair
+  /// once) = sum over edges of s * (n - s).
+  Cost total_distance = 0;
+};
+
+/// Optimal k-ary search tree for the uniform workload on n nodes.
+UniformTreeResult optimal_uniform_tree(int k, int n);
+
+/// Cost only (skips reconstruction); same O(n^2 k) DP.
+Cost optimal_uniform_cost(int k, int n);
+
+}  // namespace san

@@ -1,0 +1,52 @@
+#include "stats/series.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace san {
+
+double CostSeries::mean() const {
+  if (values_.empty()) return 0.0;
+  double sum = 0.0;
+  for (Cost v : values_) sum += static_cast<double>(v);
+  return sum / static_cast<double>(values_.size());
+}
+
+Cost CostSeries::max() const {
+  if (values_.empty()) return 0;
+  return *std::max_element(values_.begin(), values_.end());
+}
+
+void CostSeries::ensure_sorted() const {
+  if (sorted_) return;
+  sorted_values_ = values_;
+  std::sort(sorted_values_.begin(), sorted_values_.end());
+  sorted_ = true;
+}
+
+Cost CostSeries::percentile(double p) const {
+  if (values_.empty()) throw TreeError("CostSeries::percentile: empty series");
+  ensure_sorted();
+  p = std::clamp(p, 0.0, 1.0);
+  const auto rank = static_cast<std::size_t>(
+      std::ceil(p * static_cast<double>(sorted_values_.size())));
+  return sorted_values_[rank == 0 ? 0 : rank - 1];
+}
+
+std::vector<double> CostSeries::bucket_means(int buckets) const {
+  std::vector<double> out;
+  if (buckets <= 0 || values_.empty()) return out;
+  const std::size_t per =
+      (values_.size() + static_cast<std::size_t>(buckets) - 1) /
+      static_cast<std::size_t>(buckets);
+  for (std::size_t begin = 0; begin < values_.size(); begin += per) {
+    const std::size_t end = std::min(values_.size(), begin + per);
+    double sum = 0.0;
+    for (std::size_t i = begin; i < end; ++i)
+      sum += static_cast<double>(values_[i]);
+    out.push_back(sum / static_cast<double>(end - begin));
+  }
+  return out;
+}
+
+}  // namespace san

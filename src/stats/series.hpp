@@ -1,0 +1,39 @@
+// Per-request cost series: mean / percentiles / max and a coarse time-bucket
+// view, used by benches and the CLI to report tail behaviour (a reactive
+// SAN trades mean cost against occasional expensive reconfiguration bursts;
+// the tail is where that shows).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/types.hpp"
+
+namespace san {
+
+class CostSeries {
+ public:
+  void add(Cost value) {
+    values_.push_back(value);
+    sorted_ = false;
+  }
+
+  std::size_t count() const { return values_.size(); }
+  double mean() const;
+  Cost max() const;
+  /// p in [0, 1]; nearest-rank percentile. Throws TreeError when empty.
+  Cost percentile(double p) const;
+
+  /// Means of `buckets` equal consecutive time slices (trend over the
+  /// trace: warm-up, convergence, drift).
+  std::vector<double> bucket_means(int buckets) const;
+
+ private:
+  void ensure_sorted() const;
+
+  std::vector<Cost> values_;
+  mutable std::vector<Cost> sorted_values_;
+  mutable bool sorted_ = false;
+};
+
+}  // namespace san

@@ -1,0 +1,55 @@
+// Dense demand matrix D[u][v] = number of (u, v) requests, plus the
+// prefix-sum machinery behind the W matrix of the offline DP (Appendix A,
+// Claim 16): W[i, j] is the total number of requests with exactly one
+// endpoint inside the id segment [i, j].
+#pragma once
+
+#include <vector>
+
+#include "core/karytree.hpp"
+#include "core/types.hpp"
+#include "workload/request.hpp"
+
+namespace san {
+
+class DemandMatrix {
+ public:
+  /// Dense n x n storage; intended for the offline algorithms (n up to a
+  /// few thousand). Large online-only workloads never build one.
+  explicit DemandMatrix(int n);
+
+  static DemandMatrix from_trace(const Trace& trace);
+  /// All-ones upper-triangular matrix: the finite uniform workload of
+  /// Section 3.2 (each unordered pair requested exactly once).
+  static DemandMatrix uniform(int n);
+
+  int n() const { return n_; }
+  Cost at(NodeId u, NodeId v) const { return d_[index(u, v)]; }
+  void add(NodeId u, NodeId v, Cost count = 1);
+  Cost total_requests() const { return total_; }
+
+  /// Sum of D over [i..j] x [i..j]. Requires i <= j. O(1) after first use.
+  Cost inside(int i, int j) const;
+  /// W[i, j]: requests crossing the segment boundary (Appendix A). O(1)
+  /// after first use; segments with i > j yield 0.
+  Cost boundary(int i, int j) const;
+
+  /// TotalDistance(D, T) = sum_{u,v} d_T(u, v) * D[u, v].
+  Cost total_distance(const KAryTree& tree) const;
+
+ private:
+  size_t index(NodeId u, NodeId v) const {
+    return static_cast<size_t>(u - 1) * n_ + (v - 1);
+  }
+  void ensure_prefix() const;
+
+  int n_;
+  Cost total_ = 0;
+  std::vector<Cost> d_;
+  // (n+1)^2 2D prefix sums + per-row/column totals, built lazily.
+  mutable std::vector<Cost> prefix_;
+  mutable std::vector<Cost> row_total_, col_total_;
+  mutable bool prefix_ready_ = false;
+};
+
+}  // namespace san

@@ -1,0 +1,271 @@
+#include "workload/generators.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <random>
+
+#include "core/types.hpp"
+#include "workload/zipf.hpp"
+
+namespace san {
+namespace {
+
+std::uniform_int_distribution<NodeId> node_dist(int n) {
+  return std::uniform_int_distribution<NodeId>(1, n);
+}
+
+Request fresh_uniform_pair(int n, std::mt19937_64& rng) {
+  auto dist = node_dist(n);
+  NodeId u = dist(rng);
+  NodeId v = dist(rng);
+  while (v == u) v = dist(rng);
+  return {u, v};
+}
+
+}  // namespace
+
+Trace gen_uniform(int n, std::size_t m, std::uint64_t seed) {
+  if (n < 2) throw TreeError("gen_uniform needs n >= 2");
+  std::mt19937_64 rng(seed);
+  Trace t;
+  t.n = n;
+  t.requests.reserve(m);
+  for (std::size_t i = 0; i < m; ++i)
+    t.requests.push_back(fresh_uniform_pair(n, rng));
+  return t;
+}
+
+Trace gen_temporal(int n, std::size_t m, double p, std::uint64_t seed) {
+  if (n < 2) throw TreeError("gen_temporal needs n >= 2");
+  if (p < 0.0 || p >= 1.0) throw TreeError("gen_temporal needs 0 <= p < 1");
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<double> coin(0.0, 1.0);
+  Trace t;
+  t.n = n;
+  t.requests.reserve(m);
+  Request last = fresh_uniform_pair(n, rng);
+  for (std::size_t i = 0; i < m; ++i) {
+    if (i == 0 || coin(rng) >= p) last = fresh_uniform_pair(n, rng);
+    t.requests.push_back(last);
+  }
+  return t;
+}
+
+Trace gen_hpc(int n, std::size_t m, std::uint64_t seed) {
+  if (n < 8) throw TreeError("gen_hpc needs n >= 8");
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<double> coin(0.0, 1.0);
+
+  // Arrange ranks on the most cubic nx*ny*nz >= n box; ranks beyond n are
+  // simply absent (their exchanges are skipped), mirroring partially filled
+  // allocations.
+  int nx = static_cast<int>(std::cbrt(static_cast<double>(n)));
+  while (nx > 1 && n % nx != 0) --nx;
+  const int rest = n / nx;
+  int ny = static_cast<int>(std::sqrt(static_cast<double>(rest)));
+  while (ny > 1 && rest % ny != 0) --ny;
+  const int nz = rest / ny;
+
+  auto rank_of = [&](int x, int y, int z) {
+    return static_cast<NodeId>(1 + x + nx * (y + static_cast<long>(ny) * z));
+  };
+  // MPI ranks are laid out row-major on the grid and map to network nodes
+  // identically, as in real deployments: x-neighbours are id-adjacent, so
+  // HPC demand is strongly local in id space — the property that lets
+  // static search trees do well on this workload (paper Table 1, Full Tree
+  // row crossing above 1).
+  std::vector<NodeId> node_of(static_cast<size_t>(n) + 1);
+  std::iota(node_of.begin(), node_of.end(), 0);
+
+  // Precompute the 6-point stencil pair list.
+  std::vector<Request> stencil;
+  for (int z = 0; z < nz; ++z)
+    for (int y = 0; y < ny; ++y)
+      for (int x = 0; x < nx; ++x) {
+        NodeId a = rank_of(x, y, z);
+        if (a > n) continue;
+        const int dx[3] = {1, 0, 0};
+        const int dy[3] = {0, 1, 0};
+        const int dz[3] = {0, 0, 1};
+        for (int d = 0; d < 3; ++d) {
+          int x2 = x + dx[d], y2 = y + dy[d], z2 = z + dz[d];
+          if (x2 >= nx || y2 >= ny || z2 >= nz) continue;
+          NodeId b = rank_of(x2, y2, z2);
+          if (b > n) continue;
+          stencil.push_back({node_of[a], node_of[b]});
+        }
+      }
+  if (stencil.empty()) throw TreeError("gen_hpc: degenerate grid");
+
+  // Heavy-tailed per-pair intensity (mini-apps exchange volumes differ by
+  // orders of magnitude between boundary regions): a pair of weight w
+  // joins a sweep with probability w/8, so hot pairs recur every
+  // iteration and cold ones rarely — the skew a demand-aware static tree
+  // exploits.
+  std::vector<int> weight(stencil.size());
+  for (int& w : weight) w = 1 << (rng() % 4);  // 1, 2, 4 or 8
+
+  // Bulk-synchronous iteration structure, as in the DOE mini-apps: each
+  // iteration sweeps all halo exchanges in rank order (direction flipping
+  // between iterations), with occasional collective phases at iteration
+  // boundaries and a little background noise. Temporal locality is LOW —
+  // a pair recurs only once per sweep — but the demand matrix is extremely
+  // sparse and structured, which is exactly the regime the paper describes
+  // for HPC (Section 5.1: low temporal locality; Table 1: static
+  // demand-aware trees excel).
+  auto rank_picker = node_dist(n);
+  Trace t;
+  t.n = n;
+  t.requests.reserve(m);
+  bool forward = true;
+  while (t.requests.size() < m) {
+    if (coin(rng) < 0.30) {
+      // Collective (reduce or broadcast) rooted at rank 0.
+      const bool gather = coin(rng) < 0.5;
+      for (int i = 0; i < n / 3 && t.requests.size() < m; ++i) {
+        NodeId peer = rank_picker(rng);
+        while (peer == node_of[1]) peer = rank_picker(rng);
+        t.requests.push_back(gather ? Request{peer, node_of[1]}
+                                    : Request{node_of[1], peer});
+      }
+      continue;
+    }
+    for (size_t pi = 0; pi < stencil.size(); ++pi) {
+      const Request& pair = stencil[pi];
+      if (coin(rng) * 8 >= weight[pi]) continue;
+      if (coin(rng) < 0.08) {
+        t.requests.push_back(fresh_uniform_pair(n, rng));  // noise
+        if (t.requests.size() >= m) break;
+      }
+      // One halo exchange is a short message train (send, reply, send):
+      // directions alternate, so consecutive requests are never identical
+      // (temporal locality stays low) while the pair stays hot briefly.
+      const Request fwd = forward ? pair : Request{pair.dst, pair.src};
+      const Request rev{fwd.dst, fwd.src};
+      for (const Request& msg : {fwd, rev, fwd}) {
+        t.requests.push_back(msg);
+        if (t.requests.size() >= m) break;
+      }
+      if (t.requests.size() >= m) break;
+    }
+    forward = !forward;
+  }
+  return t;
+}
+
+Trace gen_projector(int n, std::size_t m, std::uint64_t seed) {
+  if (n < 4) throw TreeError("gen_projector needs n >= 4");
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<double> coin(0.0, 1.0);
+
+  // Sparse elephant support: ~4n distinct ordered pairs with Zipf weights.
+  // Requests are drawn independently — the working set is small and
+  // persistent (spatial sparsity) but consecutive requests rarely repeat
+  // (low *temporal* locality), which is the regime where the paper finds
+  // the centroid heuristic ahead of SplayNet (Table 8, ProjecToR row).
+  const size_t support = static_cast<size_t>(4) * n;
+  std::vector<Request> pairs;
+  pairs.reserve(support);
+  while (pairs.size() < support) pairs.push_back(fresh_uniform_pair(n, rng));
+  ZipfSampler zipf(static_cast<int>(support), 1.8);
+
+  Trace t;
+  t.n = n;
+  t.requests.reserve(m);
+  while (t.requests.size() < m) {
+    if (coin(rng) < 0.04) {
+      t.requests.push_back(fresh_uniform_pair(n, rng));  // mice flows
+      continue;
+    }
+    t.requests.push_back(pairs[static_cast<size_t>(zipf(rng)) - 1]);
+  }
+  return t;
+}
+
+Trace gen_facebook(int n, std::size_t m, std::uint64_t seed) {
+  if (n < 2) throw TreeError("gen_facebook needs n >= 2");
+  std::mt19937_64 rng(seed);
+  ZipfSampler zipf(n, 1.30);
+  std::vector<NodeId> node_of(static_cast<size_t>(n) + 1);
+  std::iota(node_of.begin(), node_of.end(), 0);
+  std::shuffle(node_of.begin() + 1, node_of.end(), rng);
+
+  Trace t;
+  t.n = n;
+  t.requests.reserve(m);
+  for (std::size_t i = 0; i < m; ++i) {
+    NodeId u = node_of[static_cast<size_t>(zipf(rng))];
+    NodeId v = node_of[static_cast<size_t>(zipf(rng))];
+    while (v == u) v = node_of[static_cast<size_t>(zipf(rng))];
+    t.requests.push_back({u, v});
+  }
+  return t;
+}
+
+const char* workload_name(WorkloadKind kind) {
+  switch (kind) {
+    case WorkloadKind::kUniform:
+      return "Uniform";
+    case WorkloadKind::kTemporal025:
+      return "Temporal 0.25";
+    case WorkloadKind::kTemporal05:
+      return "Temporal 0.5";
+    case WorkloadKind::kTemporal075:
+      return "Temporal 0.75";
+    case WorkloadKind::kTemporal09:
+      return "Temporal 0.9";
+    case WorkloadKind::kHpc:
+      return "HPC";
+    case WorkloadKind::kProjector:
+      return "ProjecToR";
+    case WorkloadKind::kFacebook:
+      return "Facebook";
+  }
+  return "?";
+}
+
+int paper_node_count(WorkloadKind kind) {
+  switch (kind) {
+    case WorkloadKind::kUniform:
+      return 100;
+    case WorkloadKind::kTemporal025:
+    case WorkloadKind::kTemporal05:
+    case WorkloadKind::kTemporal075:
+    case WorkloadKind::kTemporal09:
+      return 1023;
+    case WorkloadKind::kHpc:
+      return 500;
+    case WorkloadKind::kProjector:
+      return 100;
+    case WorkloadKind::kFacebook:
+      return 10000;
+  }
+  return 0;
+}
+
+Trace gen_workload(WorkloadKind kind, int n, std::size_t m,
+                   std::uint64_t seed) {
+  if (n <= 0) n = paper_node_count(kind);
+  switch (kind) {
+    case WorkloadKind::kUniform:
+      return gen_uniform(n, m, seed);
+    case WorkloadKind::kTemporal025:
+      return gen_temporal(n, m, 0.25, seed);
+    case WorkloadKind::kTemporal05:
+      return gen_temporal(n, m, 0.5, seed);
+    case WorkloadKind::kTemporal075:
+      return gen_temporal(n, m, 0.75, seed);
+    case WorkloadKind::kTemporal09:
+      return gen_temporal(n, m, 0.9, seed);
+    case WorkloadKind::kHpc:
+      return gen_hpc(n, m, seed);
+    case WorkloadKind::kProjector:
+      return gen_projector(n, m, seed);
+    case WorkloadKind::kFacebook:
+      return gen_facebook(n, m, seed);
+  }
+  throw TreeError("unknown workload kind");
+}
+
+}  // namespace san

@@ -1,0 +1,68 @@
+// Trace generators for the evaluation workloads (Section 5, "Setup and
+// data").
+//
+// The synthetic families (uniform, temporal-locality) follow the paper's
+// description directly. The three real datacenter traces are not
+// redistributable, so each is replaced by a synthetic generator matched to
+// the published characteristics the paper's conclusions rest on (see
+// DESIGN.md, "Substitutions"):
+//   * HPC (DOE mini-apps [11])  -> 3-D stencil exchange + collectives,
+//     bursty message trains => high temporal locality, structured sparsity;
+//   * ProjecToR (Microsoft [14]) -> sparse "elephant" pair support with
+//     Zipf weights and medium burstiness;
+//   * Facebook (datacenter [21]) -> independent Zipf endpoint popularity,
+//     wide support, low temporal locality, large n.
+#pragma once
+
+#include <cstdint>
+
+#include "workload/request.hpp"
+
+namespace san {
+
+/// Every request drawn independently and uniformly over ordered pairs
+/// (u != v). The finite analogue of the Section 3.2 uniform workload.
+Trace gen_uniform(int n, std::size_t m, std::uint64_t seed);
+
+/// Temporal-locality workload: with probability p repeat the previous
+/// request, otherwise draw a fresh uniform pair. p is the paper's
+/// "temporal complexity parameter" (0.25 / 0.5 / 0.75 / 0.9 in Tables 4-7).
+Trace gen_temporal(int n, std::size_t m, double p, std::uint64_t seed);
+
+/// HPC-like workload (substitute for the DOE mini-apps trace): ranks on a
+/// 3-D grid exchange with their 6-neighbourhood in bursty message trains,
+/// with periodic rank-0 collectives and a little background noise.
+Trace gen_hpc(int n, std::size_t m, std::uint64_t seed);
+
+/// ProjecToR-like workload: a sparse support of ~4n "elephant" pairs with
+/// Zipf(1.2) weights, served in short bursts.
+Trace gen_projector(int n, std::size_t m, std::uint64_t seed);
+
+/// Facebook-like workload: source and destination drawn independently from
+/// a shuffled Zipf(1.05) popularity distribution; no repetition bonus.
+Trace gen_facebook(int n, std::size_t m, std::uint64_t seed);
+
+/// Identifier of the workloads used by benches/examples.
+enum class WorkloadKind {
+  kUniform,
+  kTemporal025,
+  kTemporal05,
+  kTemporal075,
+  kTemporal09,
+  kHpc,
+  kProjector,
+  kFacebook,
+};
+
+const char* workload_name(WorkloadKind kind);
+
+/// Dispatches to the matching generator with the paper's node counts
+/// scaled by the caller (n <= 0 picks the paper's default n).
+Trace gen_workload(WorkloadKind kind, int n, std::size_t m,
+                   std::uint64_t seed);
+
+/// The paper's node count for each workload (Section 5 setup): uniform 100,
+/// temporal 1023, HPC 500, ProjecToR 100, Facebook 10^4.
+int paper_node_count(WorkloadKind kind);
+
+}  // namespace san

@@ -1,0 +1,31 @@
+// Communication requests and traces (Section 2 model).
+//
+// A trace sigma = (sigma_1, ..., sigma_m) of source/destination pairs over
+// nodes 1..n is the input to both problem variants: the online networks
+// serve it request by request, the offline algorithms see it aggregated
+// into a demand matrix.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/types.hpp"
+
+namespace san {
+
+struct Request {
+  NodeId src = kNoNode;
+  NodeId dst = kNoNode;
+
+  friend bool operator==(const Request&, const Request&) = default;
+};
+
+struct Trace {
+  int n = 0;  ///< number of network nodes (ids 1..n)
+  std::vector<Request> requests;
+
+  std::size_t size() const { return requests.size(); }
+  const Request& operator[](std::size_t i) const { return requests[i]; }
+};
+
+}  // namespace san

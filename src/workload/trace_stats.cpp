@@ -1,0 +1,67 @@
+#include "workload/trace_stats.hpp"
+
+#include <cmath>
+#include <unordered_map>
+#include <vector>
+
+namespace san {
+namespace {
+
+double entropy_bits(const std::vector<std::size_t>& counts, std::size_t m) {
+  double h = 0.0;
+  for (std::size_t c : counts) {
+    if (c == 0) continue;
+    const double p = static_cast<double>(c) / static_cast<double>(m);
+    h -= p * std::log2(p);
+  }
+  return h;
+}
+
+}  // namespace
+
+TraceStats compute_stats(const Trace& trace) {
+  TraceStats s;
+  const std::size_t m = trace.size();
+  if (m == 0) return s;
+
+  std::vector<std::size_t> src(static_cast<size_t>(trace.n) + 1, 0);
+  std::vector<std::size_t> dst(static_cast<size_t>(trace.n) + 1, 0);
+  std::unordered_map<std::uint64_t, std::size_t> pairs;
+  pairs.reserve(m / 4);
+  std::size_t repeats = 0;
+  for (std::size_t i = 0; i < m; ++i) {
+    const Request& r = trace.requests[i];
+    ++src[static_cast<size_t>(r.src)];
+    ++dst[static_cast<size_t>(r.dst)];
+    const std::uint64_t key =
+        (static_cast<std::uint64_t>(r.src) << 32) |
+        static_cast<std::uint32_t>(r.dst);
+    ++pairs[key];
+    if (i > 0 && trace.requests[i - 1] == r) ++repeats;
+  }
+
+  s.src_entropy = entropy_bits(src, m);
+  s.dst_entropy = entropy_bits(dst, m);
+  std::vector<std::size_t> pair_counts;
+  pair_counts.reserve(pairs.size());
+  for (const auto& [key, c] : pairs) pair_counts.push_back(c);
+  s.pair_entropy = entropy_bits(pair_counts, m);
+  s.repeat_fraction =
+      m > 1 ? static_cast<double>(repeats) / static_cast<double>(m - 1) : 0.0;
+  s.distinct_pairs = pairs.size();
+  for (std::size_t c : src)
+    if (c > 0) ++s.distinct_sources;
+  for (std::size_t c : dst)
+    if (c > 0) ++s.distinct_destinations;
+
+  const double md = static_cast<double>(m);
+  for (int x = 1; x <= trace.n; ++x) {
+    const double a = static_cast<double>(src[static_cast<size_t>(x)]);
+    const double b = static_cast<double>(dst[static_cast<size_t>(x)]);
+    if (a > 0) s.entropy_bound += a * std::log2(md / a);
+    if (b > 0) s.entropy_bound += b * std::log2(md / b);
+  }
+  return s;
+}
+
+}  // namespace san

@@ -1,0 +1,29 @@
+// Trace complexity measurements (the quantities the paper's analysis and
+// the locality reference [2] reason about): endpoint entropies, which drive
+// the Theorem 13 upper bound, and temporal locality, which Section 5 uses to
+// explain when the centroid heuristic wins.
+#pragma once
+
+#include <cstddef>
+
+#include "workload/request.hpp"
+
+namespace san {
+
+struct TraceStats {
+  double src_entropy = 0.0;   ///< H of the source marginal, bits
+  double dst_entropy = 0.0;   ///< H of the destination marginal, bits
+  double pair_entropy = 0.0;  ///< H of the joint (u, v) distribution, bits
+  double repeat_fraction = 0.0;  ///< fraction of requests equal to previous
+  std::size_t distinct_pairs = 0;
+  std::size_t distinct_sources = 0;
+  std::size_t distinct_destinations = 0;
+
+  /// Theorem 13 upper bound on k-ary SplayNet total cost (up to the hidden
+  /// constant): sum over x of a_x log(m/a_x) + b_x log(m/b_x).
+  double entropy_bound = 0.0;
+};
+
+TraceStats compute_stats(const Trace& trace);
+
+}  // namespace san

@@ -1,0 +1,39 @@
+// Zipf / power-law sampling used by the trace generators.
+//
+// P(rank r) ~ 1 / r^alpha over ranks 1..n, sampled by binary search on the
+// precomputed CDF (O(log n) per draw; exact, no rejection). Rank-to-item
+// shuffling is left to the callers so that "popular" ids are not clustered
+// in id space (which would unrealistically favour search-tree locality).
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace san {
+
+class ZipfSampler {
+ public:
+  ZipfSampler(int n, double alpha) : cdf_(static_cast<size_t>(n)) {
+    double acc = 0.0;
+    for (int r = 1; r <= n; ++r) {
+      acc += 1.0 / std::pow(static_cast<double>(r), alpha);
+      cdf_[static_cast<size_t>(r - 1)] = acc;
+    }
+    for (double& x : cdf_) x /= acc;
+  }
+
+  /// Returns a rank in [1, n].
+  int operator()(std::mt19937_64& rng) const {
+    const double u = std::uniform_real_distribution<double>(0.0, 1.0)(rng);
+    const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+    return static_cast<int>(it - cdf_.begin()) + 1;
+  }
+
+  int n() const { return static_cast<int>(cdf_.size()); }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+}  // namespace san

@@ -1,0 +1,118 @@
+// Classic binary SplayNet baseline: structural validity, splay semantics,
+// and agreement with the 2-ary instantiation of the generic engine.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "core/binary_splaynet.hpp"
+#include "core/splaynet.hpp"
+#include "workload/generators.hpp"
+
+namespace san {
+namespace {
+
+TEST(BinarySplayNet, BalancedConstruction) {
+  BinarySplayNet net(127);
+  EXPECT_TRUE(net.valid());
+  int max_depth = 0;
+  for (NodeId id = 1; id <= 127; ++id)
+    max_depth = std::max(max_depth, net.depth(id));
+  EXPECT_EQ(max_depth, 6);  // perfect tree on 2^7 - 1 nodes
+}
+
+TEST(BinarySplayNet, LcaMatchesDefinition) {
+  BinarySplayNet net(100);
+  for (NodeId u = 1; u <= 100; u += 7)
+    for (NodeId v = u; v <= 100; v += 11) {
+      const NodeId w = net.lca(u, v);
+      // w lies in the id interval [u, v] and is an ancestor of both.
+      EXPECT_GE(w, std::min(u, v));
+      EXPECT_LE(w, std::max(u, v));
+      NodeId a = u;
+      while (a != w && a != kNoNode) a = net.parent(a);
+      EXPECT_EQ(a, w);
+    }
+}
+
+TEST(BinarySplayNet, ServeBringsAdjacent) {
+  BinarySplayNet net(128);
+  std::mt19937_64 rng(5);
+  for (int step = 0; step < 300; ++step) {
+    NodeId u = 1 + static_cast<NodeId>(rng() % 128);
+    NodeId v = 1 + static_cast<NodeId>(rng() % 128);
+    if (u == v) continue;
+    net.serve(u, v);
+    EXPECT_EQ(net.distance(u, v), 1);
+    const ServeResult again = net.serve(u, v);
+    EXPECT_EQ(again.routing_cost, 1);
+    EXPECT_EQ(again.rotations, 0);
+  }
+  EXPECT_TRUE(net.valid());
+}
+
+TEST(BinarySplayNet, AccessMovesToRoot) {
+  BinarySplayNet net(64);
+  std::mt19937_64 rng(6);
+  for (int step = 0; step < 100; ++step) {
+    NodeId x = 1 + static_cast<NodeId>(rng() % 64);
+    const int d = net.depth(x);
+    const ServeResult r = net.access(x);
+    EXPECT_EQ(r.routing_cost, d);
+    EXPECT_EQ(net.root(), x);
+    EXPECT_TRUE(net.valid());
+  }
+}
+
+TEST(BinarySplayNet, DepthStaysLogarithmicUnderUniformLoad) {
+  const int n = 512;
+  BinarySplayNet net(n);
+  Trace t = gen_uniform(n, 20000, 31);
+  for (const Request& r : t.requests) net.serve(r.src, r.dst);
+  double depth_sum = 0;
+  for (NodeId id = 1; id <= n; ++id) depth_sum += net.depth(id);
+  EXPECT_LT(depth_sum / n, 40.0);
+  EXPECT_TRUE(net.valid());
+}
+
+TEST(BinarySplayNet, AgreesWithGeneric2AryWithinTolerance) {
+  // Two independent implementations of the same algorithm family: total
+  // routing costs on one trace agree within a modest constant factor.
+  const int n = 256;
+  Trace t = gen_temporal(n, 20000, 0.5, 8);
+  BinarySplayNet classic(n);
+  KArySplayNet generic = KArySplayNet::balanced(2, n);
+  Cost classic_cost = 0, generic_cost = 0;
+  for (const Request& r : t.requests) {
+    classic_cost += classic.serve(r.src, r.dst).routing_cost;
+    generic_cost += generic.serve(r.src, r.dst).routing_cost;
+  }
+  EXPECT_LT(generic_cost, 2 * classic_cost);
+  EXPECT_LT(classic_cost, 2 * generic_cost);
+}
+
+TEST(BinarySplayNet, PathReversalFoldsDepth) {
+  // Splaying the deepest node of a degenerate path halves the depth: the
+  // textbook splay behaviour, asserted here as a regression guard for the
+  // rotation order.
+  const int n = 255;
+  BinarySplayNet net(n);
+  // Build a left path by accessing ids in increasing order: each access
+  // makes the accessed node root with the previous tree as left child.
+  for (NodeId id = 1; id <= n; ++id) net.access(id);
+  EXPECT_EQ(net.depth(1), n - 1);
+  net.access(1);
+  int max_depth = 0;
+  for (NodeId id = 1; id <= n; ++id)
+    max_depth = std::max(max_depth, net.depth(id));
+  EXPECT_LE(max_depth, n / 2 + 2);
+  EXPECT_TRUE(net.valid());
+}
+
+TEST(BinarySplayNet, SingleNode) {
+  BinarySplayNet net(1);
+  EXPECT_TRUE(net.valid());
+  EXPECT_EQ(net.serve(1, 1).routing_cost, 0);
+}
+
+}  // namespace
+}  // namespace san

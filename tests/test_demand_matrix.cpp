@@ -1,0 +1,115 @@
+// DemandMatrix: W-matrix semantics (Appendix A, Claim 16), prefix sums, and
+// total-distance evaluation.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "core/shape.hpp"
+#include "workload/demand_matrix.hpp"
+#include "workload/generators.hpp"
+
+namespace san {
+namespace {
+
+Cost brute_boundary(const DemandMatrix& d, int i, int j) {
+  Cost w = 0;
+  for (NodeId u = 1; u <= d.n(); ++u)
+    for (NodeId v = 1; v <= d.n(); ++v) {
+      const bool u_in = u >= i && u <= j;
+      const bool v_in = v >= i && v <= j;
+      if (u_in != v_in) w += d.at(u, v);
+    }
+  return w;
+}
+
+TEST(DemandMatrix, BoundaryMatchesBruteForce) {
+  std::mt19937_64 rng(12);
+  const int n = 17;
+  DemandMatrix d(n);
+  for (int t = 0; t < 200; ++t) {
+    NodeId u = 1 + static_cast<NodeId>(rng() % n);
+    NodeId v = 1 + static_cast<NodeId>(rng() % n);
+    d.add(u, v, 1 + static_cast<Cost>(rng() % 7));
+  }
+  for (int i = 1; i <= n; ++i)
+    for (int j = i; j <= n; ++j)
+      EXPECT_EQ(d.boundary(i, j), brute_boundary(d, i, j))
+          << "[" << i << "," << j << "]";
+  EXPECT_EQ(d.boundary(5, 3), 0);  // empty segment
+  EXPECT_EQ(d.boundary(1, n), 0);  // whole range: nothing crosses
+}
+
+TEST(DemandMatrix, InsideMatchesBruteForce) {
+  std::mt19937_64 rng(13);
+  const int n = 12;
+  DemandMatrix d(n);
+  for (int t = 0; t < 100; ++t)
+    d.add(1 + static_cast<NodeId>(rng() % n), 1 + static_cast<NodeId>(rng() % n));
+  for (int i = 1; i <= n; ++i)
+    for (int j = i; j <= n; ++j) {
+      Cost brute = 0;
+      for (NodeId u = i; u <= j; ++u)
+        for (NodeId v = i; v <= j; ++v) brute += d.at(u, v);
+      EXPECT_EQ(d.inside(i, j), brute);
+    }
+}
+
+TEST(DemandMatrix, AddAfterQueryInvalidatesPrefix) {
+  DemandMatrix d(5);
+  d.add(1, 5);
+  EXPECT_EQ(d.boundary(1, 3), 1);
+  d.add(2, 4, 3);  // inside [1,3]? 2 in, 4 out -> crosses
+  EXPECT_EQ(d.boundary(1, 3), 4);
+}
+
+TEST(DemandMatrix, FromTraceCountsRequests) {
+  Trace t = gen_uniform(20, 500, 3);
+  DemandMatrix d = DemandMatrix::from_trace(t);
+  EXPECT_EQ(d.total_requests(), 500);
+  Cost sum = 0;
+  for (NodeId u = 1; u <= 20; ++u)
+    for (NodeId v = 1; v <= 20; ++v) sum += d.at(u, v);
+  EXPECT_EQ(sum, 500);
+}
+
+TEST(DemandMatrix, UniformMatrixIsUpperTriangularOnes) {
+  DemandMatrix d = DemandMatrix::uniform(6);
+  for (NodeId u = 1; u <= 6; ++u)
+    for (NodeId v = 1; v <= 6; ++v)
+      EXPECT_EQ(d.at(u, v), (u < v) ? 1 : 0);
+  EXPECT_EQ(d.total_requests(), 15);
+}
+
+TEST(DemandMatrix, TotalDistanceMatchesDirectSum) {
+  std::mt19937_64 rng(14);
+  const int n = 30;
+  DemandMatrix d(n);
+  for (int t = 0; t < 150; ++t) {
+    NodeId u = 1 + static_cast<NodeId>(rng() % n);
+    NodeId v = 1 + static_cast<NodeId>(rng() % n);
+    if (u != v) d.add(u, v, 1 + static_cast<Cost>(rng() % 3));
+  }
+  KAryTree tree = build_from_shape(3, make_complete_shape(n, 3));
+  Cost direct = 0;
+  for (NodeId u = 1; u <= n; ++u)
+    for (NodeId v = 1; v <= n; ++v)
+      if (u != v && d.at(u, v) > 0)
+        direct += static_cast<Cost>(tree.distance(u, v)) * d.at(u, v);
+  EXPECT_EQ(d.total_distance(tree), direct);
+}
+
+TEST(DemandMatrix, UniformTotalDistanceAgreesWithTreeHelper) {
+  DemandMatrix d = DemandMatrix::uniform(25);
+  KAryTree tree = build_from_shape(4, make_complete_shape(25, 4));
+  EXPECT_EQ(d.total_distance(tree), tree.uniform_total_distance());
+}
+
+TEST(DemandMatrix, RejectsBadInput) {
+  EXPECT_THROW(DemandMatrix(0), TreeError);
+  DemandMatrix d(4);
+  EXPECT_THROW(d.add(0, 3), TreeError);
+  EXPECT_THROW(d.add(1, 5), TreeError);
+}
+
+}  // namespace
+}  // namespace san

@@ -1,0 +1,129 @@
+// Ground-truth cross-check of the general O(n^3 k) DP (Theorem 2): an
+// independent exhaustive enumerator walks EVERY k-ary search tree over ids
+// 1..n (every shape with <= k children per node and a feasible id
+// position, laid out in order) and evaluates TotalDistance directly on the
+// built tree. For small n the DP must hit the exhaustive minimum exactly —
+// this validates the recurrence, the W-matrix, and the reconstruction in
+// one pass, with no shared code path between the two answers.
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <random>
+
+#include "core/shape.hpp"
+#include "static_trees/optimal_dp.hpp"
+#include "workload/demand_matrix.hpp"
+
+namespace san {
+namespace {
+
+// Enumerates all valid shapes on `n` nodes for arity `k`, invoking `visit`
+// for each. Children partition the n-1 non-root nodes into ordered
+// non-empty groups; the root id position ranges over the feasible self
+// positions (interior only when the fan-out is exactly k).
+void enumerate_shapes(int n, int k, const std::function<void(Shape&)>& visit) {
+  if (n == 1) {
+    Shape leaf;
+    visit(leaf);
+    return;
+  }
+  // compositions of n-1 into c parts, c <= k
+  std::vector<int> parts;
+  std::function<void(int)> rec = [&](int remaining) {
+    if (remaining == 0) {
+      const int c = static_cast<int>(parts.size());
+      // Recursively enumerate each part's shapes via an index cursor.
+      std::vector<std::vector<Shape>> options(parts.size());
+      for (size_t i = 0; i < parts.size(); ++i)
+        enumerate_shapes(parts[i], k,
+                         [&](Shape& s) { options[i].push_back(s); });
+      std::vector<size_t> pick(parts.size(), 0);
+      while (true) {
+        Shape node;
+        for (size_t i = 0; i < parts.size(); ++i)
+          node.kids.push_back(options[i][pick[i]]);
+        const int pos_lo = (c == k) ? 1 : 0;
+        const int pos_hi = (c == k) ? c - 1 : c;
+        for (int pos = pos_lo; pos <= pos_hi; ++pos) {
+          node.self_pos = pos;
+          node.recompute_sizes();
+          visit(node);
+        }
+        // advance mixed-radix counter
+        size_t i = 0;
+        while (i < pick.size() && ++pick[i] == options[i].size()) {
+          pick[i] = 0;
+          ++i;
+        }
+        if (i == pick.size()) break;
+      }
+      return;
+    }
+    if (static_cast<int>(parts.size()) == k) return;
+    for (int take = 1; take <= remaining; ++take) {
+      parts.push_back(take);
+      rec(remaining - take);
+      parts.pop_back();
+    }
+  };
+  rec(n - 1);
+}
+
+Cost exhaustive_minimum(int k, const DemandMatrix& d, long* trees_seen) {
+  Cost best = kInfiniteCost;
+  enumerate_shapes(d.n(), k, [&](Shape& s) {
+    KAryTree t = build_from_shape(k, s);
+    best = std::min(best, d.total_distance(t));
+    ++*trees_seen;
+  });
+  return best;
+}
+
+class DpExhaustiveTest : public ::testing::TestWithParam<std::tuple<int, int>> {
+};
+
+TEST_P(DpExhaustiveTest, DpEqualsExhaustiveMinimum) {
+  const auto [k, n] = GetParam();
+  std::mt19937_64 rng(static_cast<uint64_t>(k) * 1000 + n);
+  for (int trial = 0; trial < 3; ++trial) {
+    DemandMatrix d(n);
+    for (int t = 0; t < 4 * n; ++t) {
+      NodeId u = 1 + static_cast<NodeId>(rng() % n);
+      NodeId v = 1 + static_cast<NodeId>(rng() % n);
+      if (u != v) d.add(u, v, 1 + static_cast<Cost>(rng() % 7));
+    }
+    long trees = 0;
+    const Cost brute = exhaustive_minimum(k, d, &trees);
+    const OptimalTreeResult dp = optimal_routing_based_tree(k, d, 1);
+    EXPECT_EQ(dp.total_distance, brute)
+        << "k=" << k << " n=" << n << " trial=" << trial << " (searched "
+        << trees << " trees)";
+    ASSERT_GT(trees, 0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SmallInstances, DpExhaustiveTest,
+    ::testing::Values(std::tuple{2, 3}, std::tuple{2, 5}, std::tuple{2, 7},
+                      std::tuple{3, 4}, std::tuple{3, 6}, std::tuple{4, 5},
+                      std::tuple{4, 6}, std::tuple{5, 6}),
+    [](const auto& info) {
+      return "k" + std::to_string(std::get<0>(info.param)) + "_n" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+TEST(DpExhaustive, UniformDemandSmall) {
+  // Same cross-check on the uniform matrix, where Theorem 4's shape DP is
+  // a third independent answer.
+  for (int k : {2, 3}) {
+    for (int n : {4, 6}) {
+      DemandMatrix d = DemandMatrix::uniform(n);
+      long trees = 0;
+      const Cost brute = exhaustive_minimum(k, d, &trees);
+      EXPECT_EQ(optimal_routing_based_tree(k, d, 1).total_distance, brute);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace san

@@ -1,0 +1,145 @@
+// Cross-cutting conservation laws: the key multiset is fixed after
+// construction, identifiers are immutable, ranges stay consistent with
+// parent boundaries, and distances agree across all query paths.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <random>
+
+#include "core/local_router.hpp"
+#include "core/shape.hpp"
+#include "core/splaynet.hpp"
+
+namespace san {
+namespace {
+
+std::multiset<RoutingKey> key_multiset(const KAryTree& t) {
+  std::multiset<RoutingKey> keys;
+  for (NodeId id = 1; id <= t.size(); ++id)
+    keys.insert(t.node(id).keys.begin(), t.node(id).keys.end());
+  return keys;
+}
+
+TEST(Invariants, KeyMultisetIsConservedAcrossServes) {
+  for (int k : {2, 4, 9}) {
+    const int n = 150;
+    KArySplayNet net = KArySplayNet::balanced(k, n);
+    const auto before = key_multiset(net.tree());
+    EXPECT_EQ(before.size(), static_cast<size_t>(n) * (k - 1));
+    std::mt19937_64 rng(k);
+    for (int step = 0; step < 1000; ++step) {
+      NodeId u = 1 + static_cast<NodeId>(rng() % n);
+      NodeId v = 1 + static_cast<NodeId>(rng() % n);
+      if (u != v) net.serve(u, v);
+    }
+    EXPECT_EQ(key_multiset(net.tree()), before) << "k=" << k;
+  }
+}
+
+TEST(Invariants, EveryIdKeyExistsExactlyOnce) {
+  KArySplayNet net = KArySplayNet::balanced(5, 200);
+  std::mt19937_64 rng(77);
+  for (int step = 0; step < 500; ++step) {
+    NodeId u = 1 + static_cast<NodeId>(rng() % 200);
+    NodeId v = 1 + static_cast<NodeId>(rng() % 200);
+    if (u != v) net.serve(u, v);
+  }
+  const auto keys = key_multiset(net.tree());
+  for (NodeId id = 1; id <= 200; ++id)
+    EXPECT_EQ(keys.count(id_key(id)), 1u) << "id " << id;
+}
+
+TEST(Invariants, NodeIdsAreImmutable) {
+  KArySplayNet net = KArySplayNet::balanced(3, 90);
+  std::mt19937_64 rng(5);
+  for (int step = 0; step < 500; ++step) {
+    NodeId u = 1 + static_cast<NodeId>(rng() % 90);
+    NodeId v = 1 + static_cast<NodeId>(rng() % 90);
+    if (u != v) net.serve(u, v);
+  }
+  for (NodeId id = 1; id <= 90; ++id)
+    EXPECT_EQ(net.tree().node(id).id, id);
+}
+
+TEST(Invariants, CachedRangesMatchParentBoundaries) {
+  // The validator checks this too, but here it is asserted as the direct
+  // relation: a child's [lo, hi) is exactly the parent's adjacent keys.
+  KArySplayNet net = KArySplayNet::balanced(4, 120);
+  std::mt19937_64 rng(6);
+  for (int step = 0; step < 800; ++step) {
+    NodeId u = 1 + static_cast<NodeId>(rng() % 120);
+    NodeId v = 1 + static_cast<NodeId>(rng() % 120);
+    if (u != v) net.serve(u, v);
+  }
+  const KAryTree& t = net.tree();
+  for (NodeId id = 1; id <= 120; ++id) {
+    const TreeNode& nd = t.node(id);
+    for (size_t s = 0; s < nd.children.size(); ++s) {
+      NodeId c = nd.children[s];
+      if (c == kNoNode) continue;
+      const RoutingKey lo = (s == 0) ? nd.lo : nd.keys[s - 1];
+      const RoutingKey hi = (s == nd.keys.size()) ? nd.hi : nd.keys[s];
+      EXPECT_EQ(t.node(c).lo, lo);
+      EXPECT_EQ(t.node(c).hi, hi);
+    }
+  }
+}
+
+TEST(Invariants, DistanceAgreesAcrossQueryPaths) {
+  KArySplayNet net = KArySplayNet::balanced(3, 70);
+  std::mt19937_64 rng(8);
+  for (int step = 0; step < 300; ++step) {
+    NodeId a = 1 + static_cast<NodeId>(rng() % 70);
+    NodeId b = 1 + static_cast<NodeId>(rng() % 70);
+    if (a != b) net.serve(a, b);
+  }
+  const KAryTree& t = net.tree();
+  for (NodeId u = 1; u <= 70; u += 3)
+    for (NodeId v = 1; v <= 70; v += 5) {
+      const int d = t.distance(u, v);
+      EXPECT_EQ(static_cast<int>(t.route(u, v).size()) - 1, d);
+      // search path from root to v has length depth(v)
+      EXPECT_EQ(static_cast<int>(t.search_from_root(v).size()) - 1,
+                t.depth(v));
+    }
+}
+
+TEST(Invariants, ServeCostEqualsPreAdjustmentDistance) {
+  KArySplayNet net = KArySplayNet::balanced(4, 100);
+  std::mt19937_64 rng(9);
+  for (int step = 0; step < 300; ++step) {
+    NodeId u = 1 + static_cast<NodeId>(rng() % 100);
+    NodeId v = 1 + static_cast<NodeId>(rng() % 100);
+    if (u == v) continue;
+    const int d = net.tree().distance(u, v);
+    EXPECT_EQ(net.serve(u, v).routing_cost, d);
+  }
+}
+
+TEST(Invariants, SubtreeSizesSumAfterChurn) {
+  // Reachability audit independent of validate(): every id appears once in
+  // a DFS and the root subtree covers n.
+  KArySplayNet net = KArySplayNet::balanced(6, 222);
+  std::mt19937_64 rng(10);
+  for (int step = 0; step < 500; ++step) {
+    NodeId u = 1 + static_cast<NodeId>(rng() % 222);
+    NodeId v = 1 + static_cast<NodeId>(rng() % 222);
+    if (u != v) net.serve(u, v);
+  }
+  std::vector<bool> seen(223, false);
+  std::vector<NodeId> stack = {net.tree().root()};
+  int count = 0;
+  while (!stack.empty()) {
+    NodeId cur = stack.back();
+    stack.pop_back();
+    ASSERT_FALSE(seen[static_cast<size_t>(cur)]);
+    seen[static_cast<size_t>(cur)] = true;
+    ++count;
+    for (NodeId c : net.tree().node(cur).children)
+      if (c != kNoNode) stack.push_back(c);
+  }
+  EXPECT_EQ(count, 222);
+}
+
+}  // namespace
+}  // namespace san

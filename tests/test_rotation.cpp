@@ -1,0 +1,146 @@
+// Property tests for the k-semi-splay / k-splay rotation engine: the search
+// property, the permanence of node identifiers, and subtree node sets must
+// survive arbitrary rotation storms for every arity and policy.
+#include <gtest/gtest.h>
+
+#include <random>
+#include <set>
+
+#include "core/rotation.hpp"
+#include "core/shape.hpp"
+
+namespace san {
+namespace {
+
+std::set<NodeId> subtree_ids(const KAryTree& t, NodeId root) {
+  std::set<NodeId> ids;
+  std::vector<NodeId> stack = {root};
+  while (!stack.empty()) {
+    NodeId cur = stack.back();
+    stack.pop_back();
+    ids.insert(cur);
+    for (NodeId c : t.node(cur).children)
+      if (c != kNoNode) stack.push_back(c);
+  }
+  return ids;
+}
+
+struct PolicyCase {
+  RotationPolicy policy;
+  const char* name;
+};
+
+const PolicyCase kPolicies[] = {
+    {{BlockSizing::kBalanced, BlockPlacement::kCentered}, "balanced-centered"},
+    {{BlockSizing::kGreedyMax, BlockPlacement::kCentered}, "greedy-centered"},
+    {{BlockSizing::kBalanced, BlockPlacement::kLeftmost}, "balanced-left"},
+    {{BlockSizing::kBalanced, BlockPlacement::kRightmost}, "balanced-right"},
+    {{BlockSizing::kGreedyMax, BlockPlacement::kLeftmost}, "greedy-left"},
+};
+
+class RotationPropertyTest
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(RotationPropertyTest, SemiSplayPreservesEverything) {
+  const auto [k, seed] = GetParam();
+  std::mt19937_64 rng(static_cast<uint64_t>(seed) * 7919 + k);
+  for (const PolicyCase& pc : kPolicies) {
+    const int n = 20 + static_cast<int>(rng() % 60);
+    Shape s = make_random_shape(n, k, rng);
+    s.recompute_sizes();
+    KAryTree t = build_from_shape(k, s);
+    for (int step = 0; step < 200; ++step) {
+      NodeId x = 1 + static_cast<NodeId>(rng() % n);
+      if (t.node(x).parent == kNoNode) continue;
+      const NodeId p = t.node(x).parent;
+      const auto before = subtree_ids(t, p);
+      k_semi_splay(t, x, pc.policy);
+      auto err = t.validate();
+      ASSERT_FALSE(err.has_value())
+          << pc.name << " k=" << k << " step=" << step << ": " << *err;
+      // x took p's place: same node set below.
+      EXPECT_EQ(subtree_ids(t, x), before) << pc.name;
+      // x is now p's ancestor.
+      EXPECT_TRUE(t.is_ancestor(x, p)) << pc.name;
+    }
+  }
+}
+
+TEST_P(RotationPropertyTest, KSplayPreservesEverything) {
+  const auto [k, seed] = GetParam();
+  std::mt19937_64 rng(static_cast<uint64_t>(seed) * 104729 + k);
+  for (const PolicyCase& pc : kPolicies) {
+    const int n = 20 + static_cast<int>(rng() % 60);
+    Shape s = make_random_shape(n, k, rng);
+    s.recompute_sizes();
+    KAryTree t = build_from_shape(k, s);
+    for (int step = 0; step < 200; ++step) {
+      NodeId x = 1 + static_cast<NodeId>(rng() % n);
+      const NodeId p = t.node(x).parent;
+      if (p == kNoNode || t.node(p).parent == kNoNode) continue;
+      const NodeId g = t.node(p).parent;
+      const int depth_before = t.depth(x);
+      const auto before = subtree_ids(t, g);
+      k_splay(t, x, pc.policy);
+      auto err = t.validate();
+      ASSERT_FALSE(err.has_value())
+          << pc.name << " k=" << k << " step=" << step << ": " << *err;
+      EXPECT_EQ(subtree_ids(t, x), before) << pc.name;
+      EXPECT_EQ(t.depth(x), depth_before - 2) << pc.name;
+      EXPECT_TRUE(t.is_ancestor(x, p)) << pc.name;
+      EXPECT_TRUE(t.is_ancestor(x, g)) << pc.name;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Arity, RotationPropertyTest,
+                         ::testing::Combine(::testing::Range(2, 11),
+                                            ::testing::Values(1, 2, 3)),
+                         [](const auto& info) {
+                           return "k" +
+                                  std::to_string(std::get<0>(info.param)) +
+                                  "_seed" +
+                                  std::to_string(std::get<1>(info.param));
+                         });
+
+TEST(Rotation, SemiSplayOnRootThrows) {
+  KAryTree t = build_from_shape(3, make_complete_shape(10, 3));
+  EXPECT_THROW(k_semi_splay(t, t.root()), TreeError);
+}
+
+TEST(Rotation, KSplayNeedsGrandparent) {
+  KAryTree t = build_from_shape(3, make_complete_shape(10, 3));
+  EXPECT_THROW(k_splay(t, t.root()), TreeError);
+  for (NodeId c : t.node(t.root()).children)
+    if (c != kNoNode) EXPECT_THROW(k_splay(t, c), TreeError);
+}
+
+TEST(Rotation, ReportsEdgeChanges) {
+  KAryTree t = build_from_shape(2, make_path_shape(8));
+  // Deepest node of the path; splaying it up must rewire something.
+  NodeId deepest = 1;
+  for (NodeId id = 2; id <= 8; ++id)
+    if (t.depth(id) > t.depth(deepest)) deepest = id;
+  RotationResult r = k_splay(t, deepest);
+  EXPECT_GT(r.parent_changes, 0);
+  EXPECT_GE(r.edge_changes, r.parent_changes);
+  ASSERT_TRUE(t.valid());
+}
+
+TEST(Rotation, BinaryCaseActsLikeBstRotation) {
+  // k = 2, complete tree of 3: semi-splay of a child is exactly one BST
+  // rotation; the former root ends with the rotated node as parent.
+  KAryTree t = build_from_shape(2, make_complete_shape(3, 2));
+  NodeId root = t.root();
+  NodeId child = kNoNode;
+  for (NodeId c : t.node(root).children)
+    if (c != kNoNode) child = c;
+  ASSERT_NE(child, kNoNode);
+  k_semi_splay(t, child);
+  ASSERT_TRUE(t.valid());
+  EXPECT_EQ(t.root(), child);
+  EXPECT_EQ(t.node(root).parent, child);
+}
+
+}  // namespace
+}  // namespace san

@@ -1,0 +1,60 @@
+// CostSeries percentile / bucket statistics.
+#include <gtest/gtest.h>
+
+#include "stats/series.hpp"
+
+namespace san {
+namespace {
+
+TEST(CostSeries, MeanAndMax) {
+  CostSeries s;
+  for (Cost v : {1, 2, 3, 4}) s.add(v);
+  EXPECT_DOUBLE_EQ(s.mean(), 2.5);
+  EXPECT_EQ(s.max(), 4);
+  EXPECT_EQ(s.count(), 4u);
+}
+
+TEST(CostSeries, Percentiles) {
+  CostSeries s;
+  for (Cost v = 1; v <= 100; ++v) s.add(101 - v);  // unsorted insert
+  EXPECT_EQ(s.percentile(0.0), 1);
+  EXPECT_EQ(s.percentile(0.5), 50);
+  EXPECT_EQ(s.percentile(0.99), 99);
+  EXPECT_EQ(s.percentile(1.0), 100);
+}
+
+TEST(CostSeries, PercentileAfterLaterAdds) {
+  CostSeries s;
+  s.add(10);
+  EXPECT_EQ(s.percentile(0.5), 10);
+  s.add(20);  // must invalidate the sorted cache
+  EXPECT_EQ(s.percentile(1.0), 20);
+}
+
+TEST(CostSeries, EmptySeries) {
+  CostSeries s;
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.max(), 0);
+  EXPECT_THROW(s.percentile(0.5), TreeError);
+  EXPECT_TRUE(s.bucket_means(4).empty());
+}
+
+TEST(CostSeries, BucketMeansShowTrend) {
+  CostSeries s;
+  for (int i = 0; i < 100; ++i) s.add(i < 50 ? 10 : 2);
+  auto buckets = s.bucket_means(2);
+  ASSERT_EQ(buckets.size(), 2u);
+  EXPECT_DOUBLE_EQ(buckets[0], 10.0);
+  EXPECT_DOUBLE_EQ(buckets[1], 2.0);
+}
+
+TEST(CostSeries, BucketCountLargerThanSeries) {
+  CostSeries s;
+  s.add(5);
+  s.add(7);
+  auto buckets = s.bucket_means(10);
+  ASSERT_EQ(buckets.size(), 2u);
+}
+
+}  // namespace
+}  // namespace san

@@ -1,0 +1,94 @@
+// Simulation layer: cost accounting identities across all Network
+// adapters, and agreement between the static shortcut and the adapter path.
+#include <gtest/gtest.h>
+
+#include "sim/network.hpp"
+#include "sim/simulator.hpp"
+#include "static_trees/full_tree.hpp"
+#include "workload/generators.hpp"
+
+namespace san {
+namespace {
+
+TEST(Simulator, StaticNetworkNeverRotates) {
+  StaticTreeNetwork net(full_kary_tree(3, 50), "full 3-ary");
+  Trace t = gen_uniform(50, 2000, 1);
+  SimResult r = run_trace(net, t);
+  EXPECT_EQ(r.rotation_count, 0);
+  EXPECT_EQ(r.edge_changes, 0);
+  EXPECT_GT(r.routing_cost, 0);
+  EXPECT_EQ(r.requests, 2000u);
+  EXPECT_EQ(r.total_cost(), r.routing_cost);
+}
+
+TEST(Simulator, StaticShortcutMatchesAdapter) {
+  KAryTree tree = full_kary_tree(4, 80);
+  Trace t = gen_temporal(80, 3000, 0.5, 2);
+  StaticTreeNetwork net(full_kary_tree(4, 80), "full");
+  SimResult via_adapter = run_trace(net, t);
+  SimResult direct = run_trace_static(tree, t);
+  EXPECT_EQ(via_adapter.routing_cost, direct.routing_cost);
+  EXPECT_EQ(via_adapter.requests, direct.requests);
+}
+
+TEST(Simulator, OnlineAdaptersAccumulateCosts) {
+  Trace t = gen_temporal(64, 3000, 0.7, 3);
+  KArySplayNetwork kary(KArySplayNet::balanced(3, 64));
+  CentroidSplayNetwork cent(CentroidSplayNet(3, 64));
+  BinarySplayNetwork bin(64);
+  for (Network* net : std::initializer_list<Network*>{&kary, &cent, &bin}) {
+    SimResult r = run_trace(*net, t);
+    EXPECT_EQ(r.requests, 3000u) << net->name();
+    EXPECT_GT(r.routing_cost, 0) << net->name();
+    EXPECT_GT(r.rotation_count, 0) << net->name();
+    EXPECT_EQ(r.total_cost(), r.routing_cost + r.rotation_count)
+        << net->name();
+    EXPECT_EQ(r.model_cost(), r.routing_cost + r.edge_changes) << net->name();
+    EXPECT_NEAR(r.avg_request_cost(),
+                static_cast<double>(r.total_cost()) / 3000.0, 1e-9)
+        << net->name();
+  }
+}
+
+TEST(Simulator, NetworkNames) {
+  EXPECT_EQ(KArySplayNetwork(KArySplayNet::balanced(5, 20)).name(),
+            "5-ary SplayNet");
+  EXPECT_EQ(CentroidSplayNetwork(CentroidSplayNet(2, 20)).name(),
+            "3-SplayNet");
+  EXPECT_EQ(BinarySplayNetwork(20).name(), "SplayNet");
+  EXPECT_EQ(StaticTreeNetwork(full_kary_tree(2, 8), "x").name(), "x");
+}
+
+TEST(Simulator, SelfAdjustingBeatsStaticOnHighLocality) {
+  // The paper's core qualitative claim, as an integration test: with high
+  // temporal locality the self-adjusting network's total cost (routing +
+  // rotations) drops below the static full tree's routing cost.
+  const int n = 200;
+  Trace t = gen_temporal(n, 30000, 0.9, 4);
+  KArySplayNetwork online(KArySplayNet::balanced(3, n));
+  SimResult dynamic = run_trace(online, t);
+  SimResult fixed = run_trace_static(full_kary_tree(3, n), t);
+  EXPECT_LT(dynamic.total_cost(), fixed.total_cost());
+}
+
+TEST(Simulator, StaticBeatsSelfAdjustingOnUniform) {
+  // And the converse: under uniform traffic the rotations cannot pay off.
+  const int n = 200;
+  Trace t = gen_uniform(n, 30000, 5);
+  KArySplayNetwork online(KArySplayNet::balanced(3, n));
+  SimResult dynamic = run_trace(online, t);
+  SimResult fixed = run_trace_static(full_kary_tree(3, n), t);
+  EXPECT_GT(dynamic.total_cost(), fixed.total_cost());
+}
+
+TEST(Simulator, EmptyTrace) {
+  StaticTreeNetwork net(full_kary_tree(2, 10), "full");
+  Trace t;
+  t.n = 10;
+  SimResult r = run_trace(net, t);
+  EXPECT_EQ(r.requests, 0u);
+  EXPECT_EQ(r.avg_request_cost(), 0.0);
+}
+
+}  // namespace
+}  // namespace san

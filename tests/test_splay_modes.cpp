@@ -1,0 +1,82 @@
+// SplayMode variants: the semi-splay-only network must preserve every
+// invariant of the full splayer while adjusting more gently.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "core/splaynet.hpp"
+#include "workload/generators.hpp"
+
+namespace san {
+namespace {
+
+TEST(SplayModes, SemiOnlyPreservesInvariants) {
+  for (int k : {2, 4, 7}) {
+    const int n = 120;
+    KArySplayNet net = KArySplayNet::balanced(k, n, RotationPolicy{},
+                                              SplayMode::kSemiSplayOnly);
+    std::mt19937_64 rng(k);
+    for (int step = 0; step < 400; ++step) {
+      NodeId u = 1 + static_cast<NodeId>(rng() % n);
+      NodeId v = 1 + static_cast<NodeId>(rng() % n);
+      if (u != v) net.serve(u, v);
+    }
+    auto err = net.tree().validate();
+    ASSERT_FALSE(err.has_value()) << "k=" << k << ": " << *err;
+    for (NodeId id = 1; id <= n; ++id)
+      EXPECT_EQ(net.tree().node(id).keys.size(), static_cast<size_t>(k - 1));
+  }
+}
+
+TEST(SplayModes, SemiOnlyStillBringsEndpointsAdjacent) {
+  KArySplayNet net = KArySplayNet::balanced(3, 80, RotationPolicy{},
+                                            SplayMode::kSemiSplayOnly);
+  std::mt19937_64 rng(9);
+  for (int step = 0; step < 100; ++step) {
+    NodeId u = 1 + static_cast<NodeId>(rng() % 80);
+    NodeId v = 1 + static_cast<NodeId>(rng() % 80);
+    if (u == v) continue;
+    net.serve(u, v);
+    EXPECT_EQ(net.tree().distance(u, v), 1);
+  }
+}
+
+TEST(SplayModes, SemiOnlyAccessReachesRoot) {
+  KArySplayNet net = KArySplayNet::balanced(4, 100, RotationPolicy{},
+                                            SplayMode::kSemiSplayOnly);
+  net.access(42);
+  EXPECT_EQ(net.tree().root(), 42);
+  EXPECT_TRUE(net.tree().valid());
+}
+
+TEST(SplayModes, FullSplayUsesFewerRotationsPerServe) {
+  // Full splay climbs two levels per rotation, semi-splay one: on the same
+  // fresh tree the first serve of a deep pair needs ~2x the rotations in
+  // semi mode.
+  const int n = 511;
+  KArySplayNet full = KArySplayNet::balanced(2, n);
+  KArySplayNet semi = KArySplayNet::balanced(2, n, RotationPolicy{},
+                                             SplayMode::kSemiSplayOnly);
+  // A deep pair on the complete tree: two leaves on opposite flanks.
+  NodeId a = 1, b = n;
+  const ServeResult rf = full.serve(a, b);
+  const ServeResult rs = semi.serve(a, b);
+  EXPECT_EQ(rf.routing_cost, rs.routing_cost);
+  EXPECT_GT(rs.rotations, rf.rotations);
+}
+
+TEST(SplayModes, SemiModeRemainsBalancedUnderLoad) {
+  // Semi-splaying is a legitimate self-adjustment strategy: depth must stay
+  // logarithmic, not degrade to linear.
+  const int n = 512;
+  KArySplayNet net = KArySplayNet::balanced(3, n, RotationPolicy{},
+                                            SplayMode::kSemiSplayOnly);
+  Trace t = gen_uniform(n, 20000, 3);
+  for (const Request& r : t.requests) net.serve(r.src, r.dst);
+  double depth = 0;
+  for (NodeId id = 1; id <= n; ++id) depth += net.tree().depth(id);
+  EXPECT_LT(depth / n, 40.0);
+}
+
+}  // namespace
+}  // namespace san

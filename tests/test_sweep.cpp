@@ -1,0 +1,82 @@
+// Parallel sweep runner: positional results, determinism vs the serial
+// path, error propagation.
+#include <gtest/gtest.h>
+
+#include "sim/sweep.hpp"
+#include "static_trees/full_tree.hpp"
+#include "workload/generators.hpp"
+
+namespace san {
+namespace {
+
+TEST(Sweep, MatchesSerialExecution) {
+  Trace trace = gen_temporal(60, 5000, 0.5, 4);
+  std::vector<SweepCase> cases;
+  for (int k = 2; k <= 6; ++k) {
+    cases.push_back({[k, &trace] {
+                       return std::make_unique<KArySplayNetwork>(
+                           KArySplayNet::balanced(k, trace.n));
+                     },
+                     &trace});
+  }
+  auto parallel = run_sweep(cases, 4);
+  auto serial = run_sweep(cases, 1);
+  ASSERT_EQ(parallel.size(), 5u);
+  for (size_t i = 0; i < parallel.size(); ++i) {
+    EXPECT_EQ(parallel[i].routing_cost, serial[i].routing_cost) << i;
+    EXPECT_EQ(parallel[i].rotation_count, serial[i].rotation_count) << i;
+  }
+  // Results are positional: higher k costs less on this trace family.
+  EXPECT_GT(parallel.front().total_cost(), parallel.back().total_cost());
+}
+
+TEST(Sweep, MixedTopologies) {
+  Trace trace = gen_uniform(50, 2000, 9);
+  std::vector<SweepCase> cases = {
+      {[&trace] {
+         return std::make_unique<StaticTreeNetwork>(
+             full_kary_tree(3, trace.n), "full");
+       },
+       &trace},
+      {[&trace] { return std::make_unique<BinarySplayNetwork>(trace.n); },
+       &trace},
+      {[&trace] {
+         return std::make_unique<CentroidSplayNetwork>(
+             CentroidSplayNet(2, trace.n));
+       },
+       &trace},
+  };
+  auto results = run_sweep(cases);
+  EXPECT_EQ(results[0].rotation_count, 0);  // static never rotates
+  EXPECT_GT(results[1].rotation_count, 0);
+  EXPECT_GT(results[2].rotation_count, 0);
+}
+
+TEST(Sweep, RejectsIncompleteCases) {
+  Trace trace = gen_uniform(10, 10, 1);
+  std::vector<SweepCase> cases(1);
+  cases[0].trace = &trace;  // no factory
+  EXPECT_THROW(run_sweep(cases), TreeError);
+  cases[0].make_network = [&trace] {
+    return std::make_unique<BinarySplayNetwork>(trace.n);
+  };
+  cases[0].trace = nullptr;
+  EXPECT_THROW(run_sweep(cases), TreeError);
+}
+
+TEST(Sweep, PropagatesWorkerExceptions) {
+  Trace trace = gen_uniform(10, 10, 1);
+  std::vector<SweepCase> cases = {
+      {[]() -> std::unique_ptr<Network> {
+         throw TreeError("factory exploded");
+       },
+       &trace}};
+  EXPECT_THROW(run_sweep(cases, 2), TreeError);
+}
+
+TEST(Sweep, EmptySweep) {
+  EXPECT_TRUE(run_sweep({}).empty());
+}
+
+}  // namespace
+}  // namespace san

@@ -1,0 +1,152 @@
+// Trace generators and statistics: determinism, id-range safety, and the
+// locality/skew characteristics each workload family is supposed to carry
+// (they are what the paper's Section 5 conclusions hinge on).
+#include <gtest/gtest.h>
+
+#include "workload/generators.hpp"
+#include "workload/trace_stats.hpp"
+#include "workload/zipf.hpp"
+
+namespace san {
+namespace {
+
+void check_basic(const Trace& t, int n, std::size_t m) {
+  EXPECT_EQ(t.n, n);
+  ASSERT_EQ(t.size(), m);
+  for (const Request& r : t.requests) {
+    EXPECT_GE(r.src, 1);
+    EXPECT_LE(r.src, n);
+    EXPECT_GE(r.dst, 1);
+    EXPECT_LE(r.dst, n);
+    EXPECT_NE(r.src, r.dst);
+  }
+}
+
+TEST(Workloads, AllGeneratorsProduceValidTraces) {
+  for (WorkloadKind kind :
+       {WorkloadKind::kUniform, WorkloadKind::kTemporal025,
+        WorkloadKind::kTemporal05, WorkloadKind::kTemporal075,
+        WorkloadKind::kTemporal09, WorkloadKind::kHpc,
+        WorkloadKind::kProjector, WorkloadKind::kFacebook}) {
+    Trace t = gen_workload(kind, 64, 5000, 1);
+    check_basic(t, 64, 5000);
+  }
+}
+
+TEST(Workloads, Deterministic) {
+  for (WorkloadKind kind : {WorkloadKind::kUniform, WorkloadKind::kHpc,
+                            WorkloadKind::kProjector, WorkloadKind::kFacebook,
+                            WorkloadKind::kTemporal05}) {
+    Trace a = gen_workload(kind, 50, 2000, 42);
+    Trace b = gen_workload(kind, 50, 2000, 42);
+    EXPECT_EQ(a.requests, b.requests) << workload_name(kind);
+    Trace c = gen_workload(kind, 50, 2000, 43);
+    EXPECT_NE(a.requests, c.requests) << workload_name(kind);
+  }
+}
+
+TEST(Workloads, PaperNodeCounts) {
+  EXPECT_EQ(paper_node_count(WorkloadKind::kUniform), 100);
+  EXPECT_EQ(paper_node_count(WorkloadKind::kTemporal09), 1023);
+  EXPECT_EQ(paper_node_count(WorkloadKind::kHpc), 500);
+  EXPECT_EQ(paper_node_count(WorkloadKind::kProjector), 100);
+  EXPECT_EQ(paper_node_count(WorkloadKind::kFacebook), 10000);
+  // n <= 0 selects the paper default.
+  Trace t = gen_workload(WorkloadKind::kProjector, 0, 100, 1);
+  EXPECT_EQ(t.n, 100);
+}
+
+TEST(Workloads, TemporalRepeatFractionTracksParameter) {
+  for (double p : {0.25, 0.5, 0.75, 0.9}) {
+    Trace t = gen_temporal(200, 50000, p, 9);
+    TraceStats s = compute_stats(t);
+    EXPECT_NEAR(s.repeat_fraction, p, 0.02) << "p=" << p;
+  }
+}
+
+TEST(Workloads, UniformHasNearFullEntropy) {
+  Trace t = gen_uniform(128, 100000, 10);
+  TraceStats s = compute_stats(t);
+  EXPECT_GT(s.src_entropy, 6.9);  // log2(128) = 7
+  EXPECT_GT(s.dst_entropy, 6.9);
+  EXPECT_LT(s.repeat_fraction, 0.01);
+}
+
+TEST(Workloads, LocalityOrderingAcrossFamilies) {
+  // The property stack the substitution argument rests on (DESIGN.md and
+  // the paper's Section 5.1): HPC has LOW temporal locality (bulk-
+  // synchronous sweeps, a pair recurs once per iteration) but the most
+  // structured demand matrix; ProjecToR is bursty (elephant flows) and
+  // sparse; Facebook has low locality and wide heavy-tailed support.
+  const std::size_t m = 50000;
+  TraceStats hpc = compute_stats(gen_hpc(100, m, 3));
+  TraceStats proj = compute_stats(gen_projector(100, m, 3));
+  TraceStats fb = compute_stats(gen_facebook(100, m, 3));
+  TraceStats uni = compute_stats(gen_uniform(100, m, 3));
+
+  // Temporal locality is low for all three real-trace substitutes; the
+  // skewed ProjecToR support gives it the highest accidental repeat rate
+  // (hot pair drawn twice in a row), still far from the bursty temporal
+  // workloads.
+  EXPECT_LT(hpc.repeat_fraction, 0.05);
+  EXPECT_LT(fb.repeat_fraction, 0.05);
+  EXPECT_LT(proj.repeat_fraction, 0.4);  // far below the bursty temporal 0.75/0.9
+  EXPECT_GT(proj.repeat_fraction, hpc.repeat_fraction);
+
+  // Sparsity: ProjecToR's support is a few pairs per node; uniform covers
+  // nearly every ordered pair.
+  EXPECT_LT(proj.distinct_pairs, uni.distinct_pairs / 2);
+  // Structure (all at n = 100): both real-trace substitutes have demand
+  // matrices far more compressible than uniform; Facebook sits between.
+  EXPECT_LT(hpc.pair_entropy, uni.pair_entropy - 2.0);
+  EXPECT_LT(proj.pair_entropy, uni.pair_entropy - 2.0);
+  EXPECT_LT(fb.pair_entropy, uni.pair_entropy);
+}
+
+TEST(Workloads, FacebookEndpointsAreSkewed) {
+  Trace t = gen_facebook(1000, 100000, 4);
+  TraceStats s = compute_stats(t);
+  // Zipf(1.05) over 1000 ranks: entropy well below uniform log2(1000)=9.97.
+  EXPECT_LT(s.src_entropy, 9.0);
+  EXPECT_GT(s.src_entropy, 4.0);
+}
+
+TEST(Workloads, EntropyBoundIsFinitePositive) {
+  Trace t = gen_temporal(100, 10000, 0.5, 6);
+  TraceStats s = compute_stats(t);
+  EXPECT_GT(s.entropy_bound, 0.0);
+  // Upper bound: 2m log2(n).
+  EXPECT_LT(s.entropy_bound, 2.0 * 10000 * std::log2(100.0) + 1.0);
+}
+
+TEST(Workloads, ZipfSamplerIsSkewedAndInRange) {
+  ZipfSampler zipf(100, 1.2);
+  std::mt19937_64 rng(8);
+  std::vector<int> counts(101, 0);
+  for (int i = 0; i < 100000; ++i) {
+    int r = zipf(rng);
+    ASSERT_GE(r, 1);
+    ASSERT_LE(r, 100);
+    ++counts[static_cast<size_t>(r)];
+  }
+  EXPECT_GT(counts[1], counts[10] * 5 / 2);  // ~ 10^1.2 = 15.8x in theory
+  EXPECT_GT(counts[10], counts[100]);
+}
+
+TEST(Workloads, RejectDegenerateParameters) {
+  EXPECT_THROW(gen_uniform(1, 10, 0), TreeError);
+  EXPECT_THROW(gen_temporal(10, 10, 1.0, 0), TreeError);
+  EXPECT_THROW(gen_temporal(10, 10, -0.1, 0), TreeError);
+  EXPECT_THROW(gen_hpc(4, 10, 0), TreeError);
+}
+
+TEST(Workloads, StatsOnEmptyTrace) {
+  Trace t;
+  t.n = 10;
+  TraceStats s = compute_stats(t);
+  EXPECT_EQ(s.distinct_pairs, 0u);
+  EXPECT_EQ(s.src_entropy, 0.0);
+}
+
+}  // namespace
+}  // namespace san
