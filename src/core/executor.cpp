@@ -1,0 +1,187 @@
+#include "core/executor.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+namespace san {
+
+int resolve_threads(int requested) {
+  if (requested > 0) return requested;
+  unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+namespace {
+// True while this thread is executing inside a parallel round, either as
+// a pool worker or as the round's caller. Nested for_range calls from
+// such a thread run serially: the pool is already saturated with the
+// outer round, and recursing into it would deadlock.
+thread_local bool tls_in_parallel = false;
+
+struct ParallelRegionGuard {
+  ParallelRegionGuard() { tls_in_parallel = true; }
+  ~ParallelRegionGuard() { tls_in_parallel = false; }
+};
+}  // namespace
+
+struct Executor::Impl {
+  // One round of fork/join work. Only one round is active at a time
+  // (round_mu serializes callers), so the state is reused between rounds.
+  struct Round {
+    long end = 0;
+    long chunk = 1;
+    std::atomic<long> cursor{0};
+    void* ctx = nullptr;
+    RangeFn fn = nullptr;
+    // Pool workers still allowed to join this round (the caller always
+    // participates and is not counted here).
+    int slots = 0;
+    // Threads currently executing chunks; the round is over when the
+    // cursor is exhausted and this drops to zero.
+    int active = 0;
+    std::exception_ptr error;
+  };
+
+  std::mutex round_mu;               // serializes concurrent callers
+  std::mutex mu;                     // guards everything below
+  std::condition_variable work_cv;   // workers: a round was posted / stop
+  std::condition_variable done_cv;   // caller: round finished
+  std::vector<std::thread> workers;
+  std::atomic<int> worker_count{0};
+  Round round;
+  std::uint64_t generation = 0;      // bumps when a round is posted
+  std::atomic<std::size_t> rounds{0};
+  bool stop = false;
+
+  void worker_loop() {
+    ParallelRegionGuard in_parallel;
+    std::uint64_t seen = 0;
+    std::unique_lock<std::mutex> lock(mu);
+    for (;;) {
+      work_cv.wait(lock, [&] { return stop || generation != seen; });
+      if (stop) return;
+      seen = generation;
+      if (round.slots <= 0) continue;
+      --round.slots;
+      ++round.active;
+      lock.unlock();
+      run_chunks();
+      lock.lock();
+      if (--round.active == 0) done_cv.notify_all();
+    }
+  }
+
+  // Pulls chunks until the range is drained. Called without the lock.
+  void run_chunks() {
+    Round& r = round;
+    for (;;) {
+      const long lo = r.cursor.fetch_add(r.chunk, std::memory_order_relaxed);
+      if (lo >= r.end) return;
+      const long hi = std::min(r.end, lo + r.chunk);
+      try {
+        for (long i = lo; i < hi; ++i) r.fn(r.ctx, i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(mu);
+        if (!r.error) r.error = std::current_exception();
+        // Park the cursor past the end so everyone drains quickly.
+        r.cursor.store(r.end, std::memory_order_relaxed);
+        return;
+      }
+    }
+  }
+};
+
+Executor::Executor() : impl_(new Impl) {}
+
+Executor::~Executor() {
+  {
+    std::lock_guard<std::mutex> lock(impl_->mu);
+    impl_->stop = true;
+  }
+  impl_->work_cv.notify_all();
+  for (std::thread& t : impl_->workers) t.join();
+  delete impl_;
+}
+
+Executor& Executor::instance() {
+  static Executor exec;
+  return exec;
+}
+
+bool Executor::on_worker_thread() { return tls_in_parallel; }
+
+int Executor::pool_size() const {
+  return impl_->worker_count.load(std::memory_order_relaxed);
+}
+
+std::size_t Executor::rounds_dispatched() const {
+  return impl_->rounds.load(std::memory_order_relaxed);
+}
+
+void Executor::for_range(long begin, long end, int threads, void* ctx,
+                         RangeFn fn) {
+  const long count = end - begin;
+  if (count <= 0) return;
+  const int participants =
+      static_cast<int>(std::min<long>(resolve_threads(threads), count));
+  // Serial paths: one participant (threads=1, or auto on a single-core
+  // host), or a nested call from inside an active round (tls_in_parallel
+  // above — recursing into the busy pool would deadlock).
+  if (participants <= 1 || tls_in_parallel) {
+    for (long i = begin; i < end; ++i) fn(ctx, i);
+    return;
+  }
+
+  Impl& im = *impl_;
+  std::lock_guard<std::mutex> round_lock(im.round_mu);
+  std::unique_lock<std::mutex> lock(im.mu);
+  // Workers are started lazily so that programs which never go parallel
+  // (or set threads=1 throughout) pay nothing for the pool. The pool
+  // grows to the largest explicit request seen (capped) so that
+  // threads>hardware keeps its pre-pool oversubscription semantics.
+  constexpr int kMaxWorkers = 64;
+  const int target = std::min(kMaxWorkers, participants - 1);
+  while (static_cast<int>(im.workers.size()) < target) {
+    im.workers.emplace_back([this] { impl_->worker_loop(); });
+    im.worker_count.store(static_cast<int>(im.workers.size()),
+                          std::memory_order_relaxed);
+  }
+
+  Impl::Round& r = im.round;
+  r.end = end;
+  // Chunks are sized for dynamic load balancing: enough chunks that an
+  // uneven fn cost doesn't stall the round on one straggler, large
+  // enough that the atomic cursor isn't contended per index.
+  r.chunk = std::max<long>(1, count / (4L * participants));
+  r.cursor.store(begin, std::memory_order_relaxed);
+  r.ctx = ctx;
+  r.fn = fn;
+  r.slots = std::min(participants - 1, static_cast<int>(im.workers.size()));
+  r.active = 0;
+  r.error = nullptr;
+  ++im.generation;
+  im.rounds.fetch_add(1, std::memory_order_relaxed);
+  lock.unlock();
+  im.work_cv.notify_all();
+
+  {
+    // The caller is a full participant; it drains chunks like any worker.
+    ParallelRegionGuard in_parallel;
+    im.run_chunks();
+  }
+
+  lock.lock();
+  im.done_cv.wait(lock, [&] { return r.active == 0; });
+  // Close leftover slots so late-waking workers skip the finished round.
+  r.slots = 0;
+  std::exception_ptr err = r.error;
+  r.error = nullptr;
+  lock.unlock();
+  if (err) std::rethrow_exception(err);
+}
+
+}  // namespace san

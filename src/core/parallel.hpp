@@ -1,48 +1,29 @@
 // Minimal data-parallel helpers (no external dependencies).
 //
 // The O(n^3 k) demand-aware DP and the benchmark parameter sweeps are
-// embarrassingly parallel across independent sub-problems; a chunked
-// parallel_for over std::thread keeps them within laptop-scale wall-clock
-// budgets without pulling in OpenMP.
+// embarrassingly parallel across independent sub-problems. parallel_for
+// is a thin type-erasing shim over the persistent Executor pool
+// (core/executor.hpp): callers keep the old fork/join interface but no
+// longer pay thread creation on every invocation.
 #pragma once
 
-#include <algorithm>
 #include <functional>
-#include <thread>
+#include <type_traits>
 #include <vector>
+
+#include "core/executor.hpp"
 
 namespace san {
 
-/// Number of workers to use when the caller passes 0 ("auto").
-inline int resolve_threads(int requested) {
-  if (requested > 0) return requested;
-  unsigned hw = std::thread::hardware_concurrency();
-  return hw == 0 ? 1 : static_cast<int>(hw);
-}
-
 /// Calls fn(i) for i in [begin, end) using `threads` workers (0 = auto).
-/// fn must be safe to call concurrently for distinct i. Blocks until done.
+/// fn must be safe to call concurrently for distinct i. Blocks until
+/// done; the first exception thrown by fn is rethrown on the caller.
 template <typename Fn>
 void parallel_for(long begin, long end, int threads, Fn&& fn) {
-  const long count = end - begin;
-  if (count <= 0) return;
-  const int workers = std::min<long>(resolve_threads(threads), count);
-  if (workers <= 1) {
-    for (long i = begin; i < end; ++i) fn(i);
-    return;
-  }
-  std::vector<std::thread> pool;
-  pool.reserve(workers);
-  const long chunk = (count + workers - 1) / workers;
-  for (int w = 0; w < workers; ++w) {
-    const long lo = begin + w * chunk;
-    const long hi = std::min(end, lo + chunk);
-    if (lo >= hi) break;
-    pool.emplace_back([lo, hi, &fn] {
-      for (long i = lo; i < hi; ++i) fn(i);
-    });
-  }
-  for (std::thread& t : pool) t.join();
+  using Decayed = std::remove_reference_t<Fn>;
+  Executor::instance().for_range(
+      begin, end, threads, const_cast<std::remove_const_t<Decayed>*>(&fn),
+      [](void* ctx, long i) { (*static_cast<Decayed*>(ctx))(i); });
 }
 
 /// Runs a list of independent tasks on up to `threads` workers.

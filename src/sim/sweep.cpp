@@ -1,7 +1,6 @@
 #include "sim/sweep.hpp"
 
-#include <exception>
-#include <mutex>
+#include "core/parallel.hpp"
 
 namespace san {
 
@@ -11,20 +10,15 @@ std::vector<SimResult> run_sweep(const std::vector<SweepCase>& cases,
     if (!c.make_network || c.trace == nullptr)
       throw TreeError("run_sweep: case missing factory or trace");
 
+  // Each case writes only its own slot, so results are positional and
+  // bit-identical across thread counts; the Executor rethrows the first
+  // worker exception after the round drains.
   std::vector<SimResult> results(cases.size());
-  std::exception_ptr first_error;
-  std::mutex error_mu;
   parallel_for(0, static_cast<long>(cases.size()), threads, [&](long i) {
-    try {
-      const SweepCase& c = cases[static_cast<size_t>(i)];
-      std::unique_ptr<Network> net = c.make_network();
-      results[static_cast<size_t>(i)] = run_trace(*net, *c.trace);
-    } catch (...) {
-      std::lock_guard<std::mutex> lock(error_mu);
-      if (!first_error) first_error = std::current_exception();
-    }
+    const SweepCase& c = cases[static_cast<size_t>(i)];
+    std::unique_ptr<Network> net = c.make_network();
+    results[static_cast<size_t>(i)] = run_trace(*net, *c.trace);
   });
-  if (first_error) std::rethrow_exception(first_error);
   return results;
 }
 

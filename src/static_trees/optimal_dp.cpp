@@ -96,7 +96,12 @@ OptimalTreeResult optimal_routing_based_tree(int k, const DemandMatrix& D,
   D.boundary(1, 1);  // force the lazy prefix build before parallel access
 
   for (int len = 1; len <= n; ++len) {
-    parallel_for(1, n - len + 2, threads, [&](long li) {
+    // A diagonal is n-len+1 segments of O(len*k + k^2) work each. The
+    // executor pool makes a round cheap, but the shortest diagonals of a
+    // small instance are still better off inline on the caller.
+    const long work = static_cast<long>(n - len + 1) * (len + k) * k;
+    const int diag_threads = work < 8192 ? 1 : threads;
+    parallel_for(1, n - len + 2, diag_threads, [&](long li) {
       const int i = static_cast<int>(li);
       const int j = i + len - 1;
       const size_t ij = T.at(i, j);

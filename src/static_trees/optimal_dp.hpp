@@ -9,7 +9,8 @@
 // (dl + dr <= k) using the prefix-minimum table dp2[t] = min_{y<=t} dp[y],
 // which removes a factor k and yields O(n^3 k) time and O(n^2 k) memory.
 // Segments of equal length are independent, so each length-diagonal is
-// processed with parallel_for.
+// one parallel_for round on the persistent Executor pool — n rounds per
+// tree, which is exactly the fork/join pattern the pool exists for.
 #pragma once
 
 #include "core/karytree.hpp"

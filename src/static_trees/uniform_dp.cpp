@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <vector>
 
+#include "core/parallel.hpp"
 #include "core/shape.hpp"
 
 namespace san {
@@ -20,7 +21,7 @@ struct UniformDp {
   std::vector<std::vector<signed char>> cnt;  // argmin part count for P2
   std::vector<signed char> kids_of;           // part count under U1[l]
 
-  explicit UniformDp(int k_in, int n_in) : k(k_in), n(n_in) {
+  UniformDp(int k_in, int n_in, int threads) : k(k_in), n(n_in) {
     u1.assign(static_cast<size_t>(n) + 1, kInfiniteCost);
     p.assign(static_cast<size_t>(k) + 1,
              std::vector<Cost>(static_cast<size_t>(n) + 1, kInfiniteCost));
@@ -41,7 +42,14 @@ struct UniformDp {
       kids_of[static_cast<size_t>(l)] = cnt[static_cast<size_t>(k)][l - 1];
 
       p[1][static_cast<size_t>(l)] = u1[static_cast<size_t>(l)];
-      for (int t = 2; t <= k; ++t) {
+      // For a fixed l every t-row only reads u1 and p[t-1] at lengths
+      // < l, so the t = 2..k transitions are independent of each other.
+      // The executor pool makes the dispatch cheap, but each row is only
+      // O(l) work — go parallel only when the row is long enough to
+      // amortize the fork/join round.
+      const int row_threads = (l >= 2048 && k >= 4) ? threads : 1;
+      parallel_for(2, static_cast<long>(k) + 1, row_threads, [&](long tl) {
+        const int t = static_cast<int>(tl);
         Cost best = kInfiniteCost;
         int best_a = -1;
         for (int a = 1; a <= l - (t - 1); ++a) {
@@ -55,7 +63,7 @@ struct UniformDp {
         }
         p[static_cast<size_t>(t)][static_cast<size_t>(l)] = best;
         split[static_cast<size_t>(t)][static_cast<size_t>(l)] = best_a;
-      }
+      });
       Cost run = kInfiniteCost;
       signed char argmin = -1;
       for (int t = 1; t <= k; ++t) {
@@ -88,19 +96,19 @@ struct UniformDp {
 
 }  // namespace
 
-UniformTreeResult optimal_uniform_tree(int k, int n) {
+UniformTreeResult optimal_uniform_tree(int k, int n, int threads) {
   if (k < 2) throw TreeError("optimal_uniform_tree: k must be >= 2");
   if (n < 1) throw TreeError("optimal_uniform_tree: n must be >= 1");
-  UniformDp dp(k, n);
+  UniformDp dp(k, n, threads);
   Shape shape = dp.rebuild(n);
   shape.recompute_sizes();
   return {build_from_shape(k, shape), dp.u1[static_cast<size_t>(n)]};
 }
 
-Cost optimal_uniform_cost(int k, int n) {
+Cost optimal_uniform_cost(int k, int n, int threads) {
   if (k < 2) throw TreeError("optimal_uniform_cost: k must be >= 2");
   if (n < 1) throw TreeError("optimal_uniform_cost: n must be >= 1");
-  UniformDp dp(k, n);
+  UniformDp dp(k, n, threads);
   return dp.u1[static_cast<size_t>(n)];
 }
 

@@ -23,9 +23,11 @@ struct UniformTreeResult {
 };
 
 /// Optimal k-ary search tree for the uniform workload on n nodes.
-UniformTreeResult optimal_uniform_tree(int k, int n);
+/// `threads` = 0 uses all hardware threads for the per-length partition
+/// rows (each t-row of P[t][l] is independent given lengths < l).
+UniformTreeResult optimal_uniform_tree(int k, int n, int threads = 0);
 
 /// Cost only (skips reconstruction); same O(n^2 k) DP.
-Cost optimal_uniform_cost(int k, int n);
+Cost optimal_uniform_cost(int k, int n, int threads = 0);
 
 }  // namespace san

@@ -86,8 +86,9 @@ TEST(LocalRouter, HopKindsFollowUpDownPattern) {
   bool seen_down = false;
   for (const Hop& h : hops) {
     if (h.kind == HopKind::kToChild) seen_down = true;
-    if (h.kind == HopKind::kToParent)
+    if (h.kind == HopKind::kToParent) {
       EXPECT_FALSE(seen_down) << "went up after descending on a fresh tree";
+    }
   }
 }
 

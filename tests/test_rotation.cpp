@@ -112,7 +112,9 @@ TEST(Rotation, KSplayNeedsGrandparent) {
   KAryTree t = build_from_shape(3, make_complete_shape(10, 3));
   EXPECT_THROW(k_splay(t, t.root()), TreeError);
   for (NodeId c : t.node(t.root()).children)
-    if (c != kNoNode) EXPECT_THROW(k_splay(t, c), TreeError);
+    if (c != kNoNode) {
+      EXPECT_THROW(k_splay(t, c), TreeError);
+    }
 }
 
 TEST(Rotation, ReportsEdgeChanges) {

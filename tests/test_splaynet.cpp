@@ -181,7 +181,9 @@ TEST(SplayNet, EdgeChangeAccountingIsConsistent) {
     // at most two link operations.
     EXPECT_LE(r.parent_changes, r.edge_changes);
     EXPECT_LE(r.edge_changes, 2 * r.parent_changes);
-    if (r.rotations > 0) EXPECT_GT(r.parent_changes, 0);
+    if (r.rotations > 0) {
+      EXPECT_GT(r.parent_changes, 0);
+    }
   }
 }
 

@@ -78,5 +78,31 @@ TEST(Sweep, EmptySweep) {
   EXPECT_TRUE(run_sweep({}).empty());
 }
 
+// Regression guard for the persistent-executor rewrite: a sweep over a
+// fixed-seed trace must produce bit-identical SimResults whether it runs
+// serially (threads=1) or on the full pool (threads=0). Each case owns
+// its result slot and its own network instance, so scheduling order must
+// not leak into any counted field.
+TEST(Sweep, DeterministicAcrossThreadCounts) {
+  Trace trace = gen_temporal(48, 8000, 0.75, 11);
+  std::vector<SweepCase> cases;
+  for (int k = 2; k <= 9; ++k) {
+    cases.push_back({[k, &trace] {
+                       return std::make_unique<KArySplayNetwork>(
+                           KArySplayNet::balanced(k, trace.n));
+                     },
+                     &trace});
+  }
+  const auto serial = run_sweep(cases, 1);
+  const auto pooled = run_sweep(cases, 0);
+  ASSERT_EQ(serial.size(), pooled.size());
+  for (size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(serial[i].routing_cost, pooled[i].routing_cost) << i;
+    EXPECT_EQ(serial[i].rotation_count, pooled[i].rotation_count) << i;
+    EXPECT_EQ(serial[i].edge_changes, pooled[i].edge_changes) << i;
+    EXPECT_EQ(serial[i].requests, pooled[i].requests) << i;
+  }
+}
+
 }  // namespace
 }  // namespace san
