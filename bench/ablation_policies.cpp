@@ -38,9 +38,10 @@ double run(const Variant& v, int k, const Trace& trace, double* avg_depth) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  san::bench::init_bench_cli(argc, argv);
   const int n = 512;
-  const std::size_t m = san::bench::full_scale() ? 400000 : 100000;
+  const std::size_t m = san::bench::scaled<std::size_t>(5000, 100000, 400000);
   std::cout << "== Rotation-policy ablation (n=" << n << ", " << m
             << " temporal-0.5 requests) ==\n\n";
   san::Trace trace = san::gen_temporal(n, m, 0.5, 9);

@@ -1,6 +1,7 @@
 #include "bench_common.hpp"
 
 #include <chrono>
+#include <fstream>
 #include <iostream>
 
 #include "core/splaynet.hpp"
@@ -17,6 +18,38 @@ namespace {
 std::string abs_cell(Cost v) { return std::to_string(v); }
 
 }  // namespace
+
+BenchCli& bench_cli() {
+  static BenchCli cli;
+  return cli;
+}
+
+void init_bench_cli(int argc, char** argv) {
+  BenchCli& cli = bench_cli();
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--smoke") {
+      cli.smoke = true;
+    } else if (arg == "--json" && i + 1 < argc) {
+      cli.json_path = argv[++i];
+    } else {
+      std::cerr << "usage: " << argv[0] << " [--smoke] [--json <path>]\n";
+      std::exit(2);
+    }
+  }
+}
+
+void write_json_result(const std::string& body) {
+  const std::string& path = bench_cli().json_path;
+  if (path.empty()) return;
+  std::ofstream js(path);
+  js << body;
+  js.flush();  // surface write errors before the stream check, not in ~ofstream
+  if (!js) {
+    std::cerr << "failed to write " << path << "\n";
+    std::exit(1);
+  }
+}
 
 void run_kary_table(WorkloadKind kind, const PaperKaryTable& paper,
                     bool optimal_feasible) {

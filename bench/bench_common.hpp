@@ -17,18 +17,50 @@
 
 namespace san::bench {
 
+/// Command-line scale control shared by every bench binary. `--smoke`
+/// shrinks traces/instances to seconds-scale sizes (via trace_length() /
+/// node_count() / scaled()) so CI can run the perf binaries on every push
+/// without timing anything meaningful; `--json <path>` asks benches that
+/// support it (dp_scaling, serve_hot_path) to also emit a machine-readable
+/// result file (uploaded as a CI artifact).
+struct BenchCli {
+  bool smoke = false;
+  std::string json_path;
+};
+
+BenchCli& bench_cli();
+
+/// Parses `--smoke` and `--json <path>`; prints usage and exits(2) on
+/// anything else. Every bench main calls this first.
+void init_bench_cli(int argc, char** argv);
+
+/// Writes `body` to the `--json` path when one was given; exits(1) on an
+/// unwritable path. No-op when --json was not passed.
+void write_json_result(const std::string& body);
+
 inline bool full_scale() {
   const char* env = std::getenv("SAN_BENCH_FULL");
   return env != nullptr && env[0] == '1';
 }
 
+/// Three-point scale for benches with bespoke instance sizes:
+/// --smoke -> `smoke`, SAN_BENCH_FULL=1 -> `full`, otherwise `dflt`.
+template <typename T>
+T scaled(T smoke, T dflt, T full) {
+  if (bench_cli().smoke) return smoke;
+  return full_scale() ? full : dflt;
+}
+
 /// Requests per trace: paper uses 10^6 for every workload.
-inline std::size_t trace_length() { return full_scale() ? 1000000 : 200000; }
+inline std::size_t trace_length() {
+  return scaled<std::size_t>(5000, 200000, 1000000);
+}
 
 /// Node count per workload; the default mode shrinks only the instances
 /// whose O(n^3 k) optimal-tree computation would dominate the suite.
 inline int node_count(WorkloadKind kind) {
   const int paper = paper_node_count(kind);
+  if (bench_cli().smoke) return paper < 64 ? paper : 64;
   if (full_scale()) return paper;
   switch (kind) {
     case WorkloadKind::kTemporal025:

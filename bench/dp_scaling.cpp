@@ -4,6 +4,8 @@
 // for the uniform one; k enters linearly in both.
 #include <chrono>
 #include <iostream>
+#include <sstream>
+#include <vector>
 
 #include "bench_common.hpp"
 #include "core/parallel.hpp"
@@ -22,15 +24,18 @@ double seconds_since(std::chrono::steady_clock::time_point t0) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace san;
+  bench::init_bench_cli(argc, argv);
   std::cout << "== DP scaling (Theorems 2 and 4) ==\n";
   std::cout << "hardware threads: " << resolve_threads(0) << "\n\n";
 
-  const int top = bench::full_scale() ? 512 : 256;
+  std::ostringstream json_rows;
+  const bool smoke = bench::bench_cli().smoke;
+  const int top = bench::scaled(64, 256, 512);
   Table general({"n", "k", "serial s", "threaded s", "cost"});
   for (int n = top / 4; n <= top; n *= 2) {
-    Trace t = gen_temporal(n, 100000, 0.5, 3);
+    Trace t = gen_temporal(n, bench::scaled<std::size_t>(5000, 100000, 100000), 0.5, 3);
     DemandMatrix d = DemandMatrix::from_trace(t);
     for (int k : {2, 5, 10}) {
       auto t0 = std::chrono::steady_clock::now();
@@ -46,13 +51,20 @@ int main() {
       general.add_row({std::to_string(n), std::to_string(k),
                        fixed_cell(serial, 3), fixed_cell(threaded, 3),
                        std::to_string(serial_cost)});
+      json_rows << (json_rows.tellp() > 0 ? ",\n" : "") << "    {\"n\": " << n
+                << ", \"k\": " << k << ", \"serial\": " << fixed_cell(serial, 3)
+                << ", \"threaded\": " << fixed_cell(threaded, 3)
+                << ", \"cost\": " << serial_cost << "}";
     }
   }
   std::cout << "General demand-aware DP, O(n^3 k):\n";
   general.print();
 
   Table uniform({"n", "k", "time s", "cost"});
-  for (int n : {1000, 4000, bench::full_scale() ? 16000 : 8000}) {
+  const std::vector<int> uniform_sizes =
+      smoke ? std::vector<int>{200, 500, 1000}
+            : std::vector<int>{1000, 4000, bench::full_scale() ? 16000 : 8000};
+  for (int n : uniform_sizes) {
     for (int k : {2, 10}) {
       const auto t0 = std::chrono::steady_clock::now();
       const Cost c = optimal_uniform_cost(k, n);
@@ -62,5 +74,8 @@ int main() {
   }
   std::cout << "\nUniform-workload DP, O(n^2 k):\n";
   uniform.print();
+
+  bench::write_json_result("{\n  \"bench\": \"dp_scaling\",\n  \"general_dp\": [\n" +
+                           json_rows.str() + "\n  ]\n}\n");
   return 0;
 }

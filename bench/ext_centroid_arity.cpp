@@ -11,10 +11,11 @@
 #include "static_trees/full_tree.hpp"
 #include "stats/table.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  san::bench::init_bench_cli(argc, argv);
   using namespace san;
   const int n = 500;
-  const std::size_t m = bench::full_scale() ? 1000000 : 200000;
+  const std::size_t m = bench::scaled<std::size_t>(5000, 200000, 1000000);
   std::cout << "== Extension: (k+1)-SplayNet beyond k = 2 ==\n";
   std::cout << "n=" << n << ", " << m << " requests; cells are total cost "
             << "relative to k-ary SplayNet (<1: centroid heuristic wins)\n\n";

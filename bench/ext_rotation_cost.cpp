@@ -13,11 +13,12 @@
 #include "static_trees/full_tree.hpp"
 #include "stats/table.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  san::bench::init_bench_cli(argc, argv);
   using namespace san;
   const int k = 4;
   const int n = 500;
-  const std::size_t m = bench::full_scale() ? 1000000 : 200000;
+  const std::size_t m = bench::scaled<std::size_t>(5000, 200000, 1000000);
   const double rhos[] = {0.0, 0.5, 1.0, 2.0, 5.0, 10.0};
 
   std::cout << "== Extension: break-even rotation cost (k=" << k

@@ -11,13 +11,14 @@
 #include "static_trees/full_tree.hpp"
 #include "stats/table.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  san::bench::init_bench_cli(argc, argv);
   using namespace san;
   std::cout << "== Lemma 9: total distance of full vs centroid trees ==\n";
   std::cout << "both should be n^2 log_k n + O(n^2): cost/n^2 - log_k n "
                "stays bounded\n\n";
 
-  const int n_max = bench::full_scale() ? 100000 : 20000;
+  const int n_max = bench::scaled(2000, 20000, 100000);
   Table out({"k", "n", "log_k n", "full/n^2", "centroid/n^2",
              "full gap", "centroid gap"});
   bool centroid_never_worse = true;

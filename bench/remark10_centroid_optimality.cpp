@@ -10,9 +10,10 @@
 #include "static_trees/uniform_dp.hpp"
 #include "stats/table.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  san::bench::init_bench_cli(argc, argv);
   using namespace san;
-  const int n_max = bench::full_scale() ? 999 : 512;
+  const int n_max = bench::scaled(64, 512, 999);
   std::cout << "== Remark 10: centroid tree vs uniform-workload optimum ==\n";
   std::cout << "sweep: n in [2, " << n_max << "], k in [2, 10] (paper: n < "
                "10^3, k <= 10)\n\n";

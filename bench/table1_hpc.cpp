@@ -2,7 +2,8 @@
 // against the static full k-ary tree and the optimal routing-based tree.
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  san::bench::init_bench_cli(argc, argv);
   san::bench::PaperKaryTable paper{
       "HPC",
       4798648,

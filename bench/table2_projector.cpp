@@ -2,7 +2,8 @@
 // substitute) against static full and optimal k-ary trees.
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  san::bench::init_bench_cli(argc, argv);
   san::bench::PaperKaryTable paper{
       "ProjecToR",
       3151626,

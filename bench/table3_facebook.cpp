@@ -3,7 +3,8 @@
 // tree is computationally infeasible at this size, so that row prints "-".
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  san::bench::init_bench_cli(argc, argv);
   san::bench::PaperKaryTable paper{
       "Facebook",
       12320225,

@@ -2,7 +2,8 @@
 // complexity parameter 0.25 (low locality).
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  san::bench::init_bench_cli(argc, argv);
   san::bench::PaperKaryTable paper{
       "Temporal 0.25",
       1389359,

@@ -2,7 +2,8 @@
 // complexity parameter 0.5.
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  san::bench::init_bench_cli(argc, argv);
   san::bench::PaperKaryTable paper{
       "Temporal 0.5",
       963150,

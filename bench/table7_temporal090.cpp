@@ -3,7 +3,8 @@
 // static trees, including the demand-aware optimum).
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  san::bench::init_bench_cli(argc, argv);
   san::bench::PaperKaryTable paper{
       "Temporal 0.9",
       271838,

@@ -39,7 +39,7 @@ struct RowSpec {
 // except Facebook (n = 10^4), which is computed on a reduced instance and
 // marked accordingly (see EXPERIMENTS.md).
 int table8_nodes(WorkloadKind kind) {
-  if (kind == WorkloadKind::kFacebook) return full_scale() ? 2048 : 1024;
+  if (kind == WorkloadKind::kFacebook) return scaled(128, 1024, 2048);
   return node_count(kind);
 }
 
@@ -85,7 +85,8 @@ void run_row(const RowSpec& spec, Table& out) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  san::bench::init_bench_cli(argc, argv);
   std::cout << "== Table 8: 3-SplayNet vs SplayNet / full binary / static "
                "optimal binary ==\n";
   std::cout << "requests=" << trace_length() << " (paper: 1000000)"

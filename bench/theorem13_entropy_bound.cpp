@@ -12,9 +12,10 @@
 #include "stats/table.hpp"
 #include "workload/trace_stats.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  san::bench::init_bench_cli(argc, argv);
   using namespace san;
-  const std::size_t m = bench::full_scale() ? 1000000 : 200000;
+  const std::size_t m = bench::scaled<std::size_t>(5000, 200000, 1000000);
   std::cout << "== Theorem 13: measured cost vs entropy upper bound ==\n";
   std::cout << "cells: total(routing+rotations) / (sum_x a_x lg(m/a_x) + "
                "b_x lg(m/b_x)); bounded => theorem\n\n";

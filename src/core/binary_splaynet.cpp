@@ -1,6 +1,7 @@
 #include "core/binary_splaynet.hpp"
 
 #include <algorithm>
+#include <iterator>
 
 namespace san {
 
@@ -36,12 +37,16 @@ NodeId BinarySplayNet::lca(NodeId u, NodeId v) const {
 }
 
 int BinarySplayNet::distance(NodeId u, NodeId v) const {
-  NodeId w = lca(u, v);
-  return depth(u) + depth(v) - 2 * depth(w);
+  // Count the two lca-ward walks directly instead of materializing three
+  // full root depths.
+  const NodeId w = lca(u, v);
+  int d = 0;
+  for (NodeId cur = u; cur != w; cur = parent_[cur]) ++d;
+  for (NodeId cur = v; cur != w; cur = parent_[cur]) ++d;
+  return d;
 }
 
-RotationResult BinarySplayNet::rotate_up(NodeId x) {
-  RotationResult res;
+void BinarySplayNet::rotate_up(NodeId x) {
   NodeId p = parent_[x];
   NodeId g = parent_[p];
   NodeId moved_subtree;
@@ -64,33 +69,47 @@ RotationResult BinarySplayNet::rotate_up(NodeId x) {
   } else {
     right_[g] = x;
   }
-  // Every parent change removes one link and adds one, except x becoming
-  // root (its old (g,p)->(g,x) side collapses to a single removal).
-  res.parent_changes = 2 + (moved_subtree != kNoNode ? 1 : 0);
-  res.edge_changes = (g == kNoNode ? 1 : 2)            // x's parent link
-                     + 2                               // p now under x
-                     + (moved_subtree != kNoNode ? 2 : 0);
-  return res;
 }
 
 RotationResult BinarySplayNet::splay_step(NodeId x, NodeId stop) {
-  RotationResult total;
-  NodeId p = parent_[x];
-  NodeId g = parent_[p];
-  auto add = [&total](const RotationResult& r) {
-    total.parent_changes += r.parent_changes;
-    total.edge_changes += r.edge_changes;
-  };
+  // Snapshot the parents of every node a step can rewire (the protagonists
+  // plus the subtrees hanging off x and p), rotate, then diff — the same
+  // net-change convention as rotation.cpp's snapshot/diff.
+  const NodeId p = parent_[x];
+  const NodeId g = parent_[p];
+  // x is one of p's children; null that duplicate out so its parent change
+  // is counted once.
+  const NodeId affected[] = {x,
+                             p,
+                             g,
+                             left_[x],
+                             right_[x],
+                             left_[p] == x ? kNoNode : left_[p],
+                             right_[p] == x ? kNoNode : right_[p]};
+  NodeId before[std::size(affected)];
+  for (size_t i = 0; i < std::size(affected); ++i)
+    before[i] = affected[i] == kNoNode ? kNoNode : parent_[affected[i]];
+
   if (g == stop) {
-    add(rotate_up(x));  // zig
+    rotate_up(x);  // zig
   } else if ((left_[g] == p) == (left_[p] == x)) {
-    add(rotate_up(p));  // zig-zig: rotate parent first
-    add(rotate_up(x));
+    rotate_up(p);  // zig-zig: rotate parent first
+    rotate_up(x);
   } else {
-    add(rotate_up(x));  // zig-zag: rotate x twice
-    add(rotate_up(x));
+    rotate_up(x);  // zig-zag: rotate x twice
+    rotate_up(x);
   }
-  return total;
+
+  RotationResult res;
+  for (size_t i = 0; i < std::size(affected); ++i) {
+    if (affected[i] == kNoNode) continue;
+    const NodeId now = parent_[affected[i]];
+    if (now == before[i]) continue;
+    ++res.parent_changes;
+    if (before[i] != kNoNode) ++res.edge_changes;  // link removed
+    if (now != kNoNode) ++res.edge_changes;        // link added
+  }
+  return res;
 }
 
 ServeResult BinarySplayNet::splay_until_parent(NodeId x, NodeId stop) {
@@ -107,8 +126,11 @@ ServeResult BinarySplayNet::splay_until_parent(NodeId x, NodeId stop) {
 ServeResult BinarySplayNet::serve(NodeId u, NodeId v) {
   ServeResult res;
   if (u == v) return res;
+  // One LCA descent serves both the routing cost and the splay stop point
+  // (the k-ary side's path_info analogue).
   NodeId w = lca(u, v);
-  res.routing_cost = distance(u, v);
+  for (NodeId cur = u; cur != w; cur = parent_[cur]) ++res.routing_cost;
+  for (NodeId cur = v; cur != w; cur = parent_[cur]) ++res.routing_cost;
   NodeId stop = parent_[w];
   ServeResult up = splay_until_parent(u, stop);
   ServeResult down = splay_until_parent(v, u);

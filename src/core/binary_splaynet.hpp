@@ -45,9 +45,17 @@ class BinarySplayNet {
 
  private:
   NodeId build_balanced(NodeId lo, NodeId hi, NodeId parent);
-  /// Single rotation of x over its parent; returns link changes.
-  RotationResult rotate_up(NodeId x);
+  /// Single rotation of x over its parent (no accounting; splay_step
+  /// measures the whole step).
+  void rotate_up(NodeId x);
   /// One splay step toward `stop` (parent sentinel); returns link changes.
+  /// Accounting uses the same before/after snapshot-diff convention as the
+  /// k-ary rotation engine (rotation.cpp): a node whose parent changed
+  /// *net* over the step counts one parent change plus one edge change per
+  /// link removed or added — the transient middle state of a zig-zig /
+  /// zig-zag does not double-count. This is what makes the per-request
+  /// ServeResults of BinarySplayNet and KArySplayNet(k=2) comparable
+  /// (tests/test_differential.cpp).
   RotationResult splay_step(NodeId x, NodeId stop);
   ServeResult splay_until_parent(NodeId x, NodeId stop);
 

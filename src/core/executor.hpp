@@ -59,7 +59,9 @@ class Executor {
   /// is being reused rather than respawned.
   std::size_t rounds_dispatched() const;
 
-  /// True on a pool worker thread; nested for_range calls check this.
+  /// True on any thread currently inside an active round — pool workers
+  /// AND the caller while it participates in its own for_range. Nested
+  /// for_range calls check this to degrade to serial execution.
   static bool on_worker_thread();
 
   ~Executor();

@@ -8,21 +8,50 @@ namespace san {
 KAryTree::KAryTree(int k, int n) : k_(k), n_(n) {
   if (k < 2) throw TreeError("arity must be >= 2");
   if (n < 1) throw TreeError("tree needs at least one node");
-  nodes_.resize(static_cast<size_t>(n) + 1);
-  for (NodeId id = 1; id <= n; ++id) {
-    nodes_[id].id = id;
-    nodes_[id].children = {kNoNode};  // zero keys -> one (empty) interval
-  }
+  const size_t slots = static_cast<size_t>(n) + 1;
+  parent_.assign(slots, kNoNode);
+  slot_in_parent_.assign(slots, -1);
+  lo_.assign(slots, kKeyMin);
+  hi_.assign(slots, kKeyMax);
+  nkeys_.assign(slots, 0);  // zero keys -> one (empty) interval
+  keys_.assign(static_cast<size_t>(n) * static_cast<size_t>(k - 1), 0);
+  children_.assign(static_cast<size_t>(n) * static_cast<size_t>(k), kNoNode);
+  depth_.assign(slots, 0);
+  depth_epoch_.assign(slots, 0);  // epoch_ starts at 1: everything stale
+  depth_scratch_.reserve(slots);
+  route_scratch_.reserve(slots);
 }
 
 int KAryTree::depth(NodeId id) const {
-  int d = 0;
-  for (NodeId cur = check(id); nodes_[cur].parent != kNoNode;
-       cur = nodes_[cur].parent) {
-    ++d;
-    if (d > n_) throw TreeError("parent cycle detected in depth()");
+  check(id);
+  sync_epoch();
+  if (depth_epoch_[static_cast<size_t>(id)] == epoch_)
+    return depth_[static_cast<size_t>(id)];
+  // Walk up to the nearest fresh ancestor (or the root), then stamp true
+  // depths down the walked path so the next read is O(1).
+  std::vector<NodeId>& path = depth_scratch_;
+  path.clear();
+  NodeId cur = id;
+  int base = -1;  // depth of the node above path.back(); -1 = none (root)
+  while (true) {
+    if (depth_epoch_[static_cast<size_t>(cur)] == epoch_) {
+      base = depth_[static_cast<size_t>(cur)];
+      break;
+    }
+    path.push_back(cur);
+    if (static_cast<int>(path.size()) > n_)
+      throw TreeError("parent cycle detected in depth()");
+    const NodeId up = parent_[static_cast<size_t>(cur)];
+    if (up == kNoNode) break;  // cur is a root: gets depth 0 below
+    cur = up;
   }
-  return d;
+  int d = base;  // path.back() gets d+1 (base == -1 makes a root 0)
+  for (auto it = path.rbegin(); it != path.rend(); ++it) {
+    ++d;
+    depth_[static_cast<size_t>(*it)] = d;
+    depth_epoch_[static_cast<size_t>(*it)] = epoch_;
+  }
+  return depth_[static_cast<size_t>(id)];
 }
 
 NodeId KAryTree::lca(NodeId u, NodeId v) const {
@@ -31,16 +60,16 @@ NodeId KAryTree::lca(NodeId u, NodeId v) const {
   NodeId a = u;
   NodeId b = v;
   while (du > dv) {
-    a = nodes_[a].parent;
+    a = parent_[static_cast<size_t>(a)];
     --du;
   }
   while (dv > du) {
-    b = nodes_[b].parent;
+    b = parent_[static_cast<size_t>(b)];
     --dv;
   }
   while (a != b) {
-    a = nodes_[a].parent;
-    b = nodes_[b].parent;
+    a = parent_[static_cast<size_t>(a)];
+    b = parent_[static_cast<size_t>(b)];
     if (a == kNoNode || b == kNoNode)
       throw TreeError("nodes are in disconnected components");
   }
@@ -48,46 +77,109 @@ NodeId KAryTree::lca(NodeId u, NodeId v) const {
 }
 
 int KAryTree::distance(NodeId u, NodeId v) const {
-  NodeId w = lca(u, v);
-  return depth(u) + depth(v) - 2 * depth(w);
+  return path_info(u, v).distance;
+}
+
+PathInfo KAryTree::path_info(NodeId u, NodeId v) const {
+  int du = depth(u);
+  int dv = depth(v);
+  NodeId a = u;
+  NodeId b = v;
+  int d = 0;
+  while (du > dv) {
+    a = parent_[static_cast<size_t>(a)];
+    --du;
+    ++d;
+  }
+  while (dv > du) {
+    b = parent_[static_cast<size_t>(b)];
+    --dv;
+    ++d;
+  }
+  while (a != b) {
+    a = parent_[static_cast<size_t>(a)];
+    b = parent_[static_cast<size_t>(b)];
+    d += 2;
+    if (a == kNoNode || b == kNoNode)
+      throw TreeError("nodes are in disconnected components");
+  }
+  return PathInfo{a, d};
+}
+
+int KAryTree::route_into(NodeId u, NodeId v, std::vector<NodeId>& out) const {
+  int du = depth(u);
+  int dv = depth(v);
+  out.clear();
+  std::vector<NodeId>& down = route_scratch_;
+  down.clear();
+  NodeId a = u;
+  NodeId b = v;
+  while (du > dv) {
+    out.push_back(a);
+    a = parent_[static_cast<size_t>(a)];
+    --du;
+  }
+  while (dv > du) {
+    down.push_back(b);
+    b = parent_[static_cast<size_t>(b)];
+    --dv;
+  }
+  while (a != b) {
+    out.push_back(a);
+    down.push_back(b);
+    a = parent_[static_cast<size_t>(a)];
+    b = parent_[static_cast<size_t>(b)];
+    if (a == kNoNode || b == kNoNode)
+      throw TreeError("nodes are in disconnected components");
+  }
+  out.push_back(a);  // the LCA
+  out.insert(out.end(), down.rbegin(), down.rend());
+  return static_cast<int>(out.size()) - 1;
 }
 
 std::vector<NodeId> KAryTree::route(NodeId u, NodeId v) const {
-  NodeId w = lca(u, v);
-  std::vector<NodeId> up;
-  for (NodeId cur = u; cur != w; cur = nodes_[cur].parent) up.push_back(cur);
-  up.push_back(w);
-  std::vector<NodeId> down;
-  for (NodeId cur = v; cur != w; cur = nodes_[cur].parent) down.push_back(cur);
-  up.insert(up.end(), down.rbegin(), down.rend());
-  return up;
+  std::vector<NodeId> out;
+  route_into(u, v, out);
+  return out;
 }
 
 bool KAryTree::is_ancestor(NodeId anc, NodeId id) const {
-  for (NodeId cur = check(id); cur != kNoNode; cur = nodes_[cur].parent)
-    if (cur == anc) return true;
-  return false;
+  check(anc);
+  const int da = depth(anc);
+  int d = depth(id);
+  NodeId cur = id;
+  while (d > da) {
+    cur = parent_[static_cast<size_t>(cur)];
+    --d;
+  }
+  return cur == anc;
 }
 
 int KAryTree::interval_of(NodeId id, RoutingKey key) const {
-  const auto& ks = nodes_[check(id)].keys;
+  const std::span<const RoutingKey> ks = keys(id);
   return static_cast<int>(std::upper_bound(ks.begin(), ks.end(), key) -
                           ks.begin());
 }
 
-std::vector<NodeId> KAryTree::search_from_root(NodeId target) const {
+int KAryTree::search_from_root_into(NodeId target,
+                                    std::vector<NodeId>& out) const {
   check(target);
-  std::vector<NodeId> path;
+  out.clear();
   NodeId cur = root_;
   while (true) {
     if (cur == kNoNode) throw TreeError("search fell off the tree");
-    path.push_back(cur);
-    if (cur == target) return path;
-    if (path.size() > static_cast<size_t>(n_))
+    out.push_back(cur);
+    if (cur == target) return static_cast<int>(out.size()) - 1;
+    if (out.size() > static_cast<size_t>(n_))
       throw TreeError("search path longer than tree size");
-    const TreeNode& nd = nodes_[cur];
-    cur = nd.children[interval_of(cur, id_key(target))];
+    cur = child(cur, interval_of(cur, id_key(target)));
   }
+}
+
+std::vector<NodeId> KAryTree::search_from_root(NodeId target) const {
+  std::vector<NodeId> path;
+  search_from_root_into(target, path);
+  return path;
 }
 
 Cost KAryTree::uniform_total_distance() const {
@@ -99,21 +191,23 @@ Cost KAryTree::uniform_total_distance() const {
   // children-before-parent order via iterative post-order on ids reachable
   // from the root.
   std::vector<NodeId> order;
-  order.reserve(n_);
+  order.reserve(static_cast<size_t>(n_));
   std::vector<NodeId> stack = {root_};
   while (!stack.empty()) {
     NodeId cur = stack.back();
     stack.pop_back();
     order.push_back(cur);
-    for (NodeId c : nodes_[cur].children)
+    for (NodeId c : children(cur))
       if (c != kNoNode) stack.push_back(c);
   }
   Cost total = 0;
   for (auto it = order.rbegin(); it != order.rend(); ++it) {
     NodeId cur = *it;
-    if (nodes_[cur].parent != kNoNode) {
-      sz[nodes_[cur].parent] += sz[cur];
-      total += static_cast<Cost>(sz[cur]) * (n_ - sz[cur]);
+    const NodeId par = parent_[static_cast<size_t>(cur)];
+    if (par != kNoNode) {
+      sz[static_cast<size_t>(par)] += sz[static_cast<size_t>(cur)];
+      total += static_cast<Cost>(sz[static_cast<size_t>(cur)]) *
+               (n_ - sz[static_cast<size_t>(cur)]);
     }
   }
   return total;
@@ -122,31 +216,34 @@ Cost KAryTree::uniform_total_distance() const {
 void KAryTree::set_root(NodeId id) {
   check(id);
   root_ = id;
-  nodes_[id].parent = kNoNode;
-  nodes_[id].slot_in_parent = -1;
-  nodes_[id].lo = kKeyMin;
-  nodes_[id].hi = kKeyMax;
+  parent_[static_cast<size_t>(id)] = kNoNode;
+  slot_in_parent_[static_cast<size_t>(id)] = -1;
+  lo_[static_cast<size_t>(id)] = kKeyMin;
+  hi_[static_cast<size_t>(id)] = kKeyMax;
+  dirty_ = true;
 }
 
-void KAryTree::install(NodeId id, std::vector<RoutingKey> keys,
-                       std::vector<NodeId> children, RoutingKey lo,
+void KAryTree::install(NodeId id, std::span<const RoutingKey> keys,
+                       std::span<const NodeId> children, RoutingKey lo,
                        RoutingKey hi) {
   check(id);
   if (children.size() != keys.size() + 1)
     throw TreeError("install: children.size() must be keys.size()+1");
   if (static_cast<int>(keys.size()) > k_ - 1)
     throw TreeError("install: too many routing keys for arity");
-  TreeNode& nd = nodes_[id];
-  nd.keys = std::move(keys);
-  nd.children = std::move(children);
-  nd.lo = lo;
-  nd.hi = hi;
-  for (int s = 0; s < static_cast<int>(nd.children.size()); ++s) {
-    NodeId c = nd.children[s];
+  nkeys_[static_cast<size_t>(id)] = static_cast<std::int32_t>(keys.size());
+  std::copy(keys.begin(), keys.end(), keys_.begin() + static_cast<std::ptrdiff_t>(key_base(id)));
+  std::copy(children.begin(), children.end(),
+            children_.begin() + static_cast<std::ptrdiff_t>(child_base(id)));
+  lo_[static_cast<size_t>(id)] = lo;
+  hi_[static_cast<size_t>(id)] = hi;
+  for (int s = 0; s < static_cast<int>(children.size()); ++s) {
+    const NodeId c = children[static_cast<size_t>(s)];
     if (c == kNoNode) continue;
-    nodes_[c].parent = id;
-    nodes_[c].slot_in_parent = s;
+    parent_[static_cast<size_t>(c)] = id;
+    slot_in_parent_[static_cast<size_t>(c)] = s;
   }
+  dirty_ = true;
 }
 
 void KAryTree::link(NodeId parent, int slot, NodeId child) {
@@ -156,36 +253,40 @@ void KAryTree::link(NodeId parent, int slot, NodeId child) {
     return;
   }
   check(parent);
-  TreeNode& p = nodes_[parent];
-  if (slot < 0 || slot >= static_cast<int>(p.children.size()))
+  if (slot < 0 || slot > nkeys_[static_cast<size_t>(parent)])
     throw TreeError("link: slot out of range");
-  p.children[slot] = child;
-  nodes_[child].parent = parent;
-  nodes_[child].slot_in_parent = slot;
+  children_[child_base(parent) + static_cast<size_t>(slot)] = child;
+  parent_[static_cast<size_t>(child)] = parent;
+  slot_in_parent_[static_cast<size_t>(child)] = slot;
+  dirty_ = true;
 }
 
 std::optional<std::string> KAryTree::validate() const {
   std::ostringstream err;
   if (root_ == kNoNode) return "no root set";
-  if (nodes_[root_].parent != kNoNode) return "root has a parent";
+  if (parent_[static_cast<size_t>(root_)] != kNoNode)
+    return "root has a parent";
+  sync_epoch();  // pending mutations invalidate every depth memo below
 
-  // DFS with explicit [lo, hi) ranges; checks structure and search property.
+  // DFS with explicit [lo, hi) ranges and true depths; checks structure,
+  // search property, and the depth cache.
   struct Frame {
     NodeId id;
     RoutingKey lo, hi;
+    int depth;
   };
   std::vector<bool> seen(static_cast<size_t>(n_) + 1, false);
-  std::vector<Frame> stack = {{root_, kKeyMin, kKeyMax}};
+  std::vector<Frame> stack = {{root_, kKeyMin, kKeyMax, 0}};
   int visited = 0;
   while (!stack.empty()) {
     Frame f = stack.back();
     stack.pop_back();
-    const TreeNode& nd = nodes_[f.id];
-    if (seen[f.id]) {
+    const TreeNode nd = node(f.id);
+    if (seen[static_cast<size_t>(f.id)]) {
       err << "node " << f.id << " reached twice (not a tree)";
       return err.str();
     }
-    seen[f.id] = true;
+    seen[static_cast<size_t>(f.id)] = true;
     ++visited;
     // Open-interval semantics: the id value must lie strictly inside the
     // node's range (boundary values belong to neither side).
@@ -196,6 +297,13 @@ std::optional<std::string> KAryTree::validate() const {
     }
     if (nd.lo != f.lo || nd.hi != f.hi) {
       err << "node " << f.id << " has stale cached range";
+      return err.str();
+    }
+    if (depth_epoch_[static_cast<size_t>(f.id)] == epoch_ &&
+        depth_[static_cast<size_t>(f.id)] != f.depth) {
+      err << "node " << f.id << " has a stale depth memo ("
+          << depth_[static_cast<size_t>(f.id)] << ", true depth " << f.depth
+          << ")";
       return err.str();
     }
     if (static_cast<int>(nd.keys.size()) > k_ - 1) {
@@ -226,16 +334,18 @@ std::optional<std::string> KAryTree::validate() const {
       }
     }
     for (int s = 0; s < static_cast<int>(nd.children.size()); ++s) {
-      NodeId c = nd.children[s];
+      NodeId c = nd.children[static_cast<size_t>(s)];
       if (c == kNoNode) continue;
-      if (nodes_[c].parent != f.id || nodes_[c].slot_in_parent != s) {
+      if (parent_[static_cast<size_t>(c)] != f.id ||
+          slot_in_parent_[static_cast<size_t>(c)] != s) {
         err << "child " << c << " of node " << f.id << " has bad back-link";
         return err.str();
       }
-      RoutingKey clo = (s == 0) ? f.lo : nd.keys[s - 1];
-      RoutingKey chi =
-          (s == static_cast<int>(nd.keys.size())) ? f.hi : nd.keys[s];
-      stack.push_back({c, clo, chi});
+      RoutingKey clo = (s == 0) ? f.lo : nd.keys[static_cast<size_t>(s - 1)];
+      RoutingKey chi = (s == static_cast<int>(nd.keys.size()))
+                           ? f.hi
+                           : nd.keys[static_cast<size_t>(s)];
+      stack.push_back({c, clo, chi, f.depth + 1});
     }
   }
   if (visited != n_) {

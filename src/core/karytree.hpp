@@ -5,9 +5,31 @@
 // The container exposes a low-level mutation API used by the rotation engine
 // (rotation.hpp) and the static-tree builders, plus read-only queries used by
 // simulation (distance, LCA, routing) and by the validator.
+//
+// Storage layout: arity is fixed at construction, so every node owns exactly
+// k-1 key slots and k child slots carved out of two contiguous
+// structure-of-arrays buffers (`keys_`: n*(k-1) RoutingKeys, `children_`:
+// n*k NodeIds) plus per-field scalar arrays (parent, slot-in-parent, lo/hi,
+// key count). Nothing is heap-allocated after construction — install() and
+// link() only overwrite slots in place — which keeps the serve() hot path
+// free of allocator traffic. `node(id)` returns a cheap view whose
+// `keys`/`children` are spans into the flat buffers.
+//
+// Depth cache: each node carries a memoized depth validated by an epoch
+// counter. Structural mutations set a dirty flag; the next depth-dependent
+// query bumps the epoch (invalidating every memo in O(1)) and reads repair
+// lazily by walking to the nearest fresh ancestor and stamping the walked
+// path. Within one mutation-free window — e.g. the lca + distance pair at
+// the start of serve(), or an entire static-tree replay — repeated depth
+// reads are O(1); a replay over a never-rotating tree converges to fully
+// memoized depths. Because the memo arrays are mutable, const queries are
+// NOT safe to call concurrently on the same tree (each sweep/DP worker owns
+// its own tree instance, see sim/sweep.hpp).
 #pragma once
 
+#include <cstdint>
 #include <optional>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -15,43 +37,102 @@
 
 namespace san {
 
-/// One network node. `lo`/`hi` cache the identifier range the parent assigns
-/// to this node's subtree ([lo, hi)); they make hop-by-hop *local* routing
-/// possible (a node can decide "target below me or above me" without global
-/// state) and are maintained by the rotation engine in O(1) per rotation.
+/// Read-only view of one network node, returned by value from
+/// KAryTree::node(). `keys`/`children` are spans into the tree's flat
+/// storage: they never dangle (the buffers live as long as the tree and
+/// never reallocate), but a later install() on this node changes the values
+/// — and possibly the span length — so re-fetch the view after mutations.
+/// `lo`/`hi` cache the identifier range the parent assigns to this node's
+/// subtree ([lo, hi)); they make hop-by-hop *local* routing possible (a node
+/// can decide "target below me or above me" without global state) and are
+/// maintained by the rotation engine in O(1) per rotation.
 struct TreeNode {
   NodeId id = kNoNode;
-  std::vector<RoutingKey> keys;  ///< strictly increasing, size() <= k-1
-  std::vector<NodeId> children;  ///< size() == keys.size()+1, kNoNode = empty
+  std::span<const RoutingKey> keys;  ///< strictly increasing, size() <= k-1
+  std::span<const NodeId> children;  ///< size() == keys.size()+1, kNoNode = empty
   NodeId parent = kNoNode;
   int slot_in_parent = -1;  ///< index into parent's children, -1 for root
   RoutingKey lo = kKeyMin;  ///< subtree identifier range, inclusive
   RoutingKey hi = kKeyMax;  ///< subtree identifier range, exclusive
 };
 
+/// LCA and tree distance of one node pair, computed in a single walk.
+struct PathInfo {
+  NodeId lca = kNoNode;
+  int distance = 0;
+};
+
 class KAryTree {
  public:
   /// Creates a tree of `n` detached nodes with ids 1..n and arity `k` >= 2.
-  /// A topology must be installed through a builder (tree_builder.hpp) or
-  /// the low-level mutators before queries are meaningful.
+  /// A topology must be installed through a builder (shape.hpp) or the
+  /// low-level mutators before queries are meaningful. All storage is
+  /// allocated here, once.
   KAryTree(int k, int n);
 
   int arity() const { return k_; }
   int size() const { return n_; }
   NodeId root() const { return root_; }
 
-  const TreeNode& node(NodeId id) const { return nodes_[check(id)]; }
-  TreeNode& node_mut(NodeId id) { return nodes_[check(id)]; }
+  /// Cheap by-value view; see TreeNode.
+  TreeNode node(NodeId id) const {
+    check(id);
+    return TreeNode{id,
+                    keys(id),
+                    children(id),
+                    parent_[static_cast<size_t>(id)],
+                    slot_in_parent_[static_cast<size_t>(id)],
+                    lo_[static_cast<size_t>(id)],
+                    hi_[static_cast<size_t>(id)]};
+  }
+
+  // --- field accessors (no view construction; hot-path friendly) --------
+  NodeId parent(NodeId id) const { return parent_[static_cast<size_t>(check(id))]; }
+  int slot_in_parent(NodeId id) const {
+    return slot_in_parent_[static_cast<size_t>(check(id))];
+  }
+  RoutingKey lo(NodeId id) const { return lo_[static_cast<size_t>(check(id))]; }
+  RoutingKey hi(NodeId id) const { return hi_[static_cast<size_t>(check(id))]; }
+  int num_keys(NodeId id) const { return nkeys_[static_cast<size_t>(check(id))]; }
+  int num_children(NodeId id) const { return num_keys(id) + 1; }
+  std::span<const RoutingKey> keys(NodeId id) const {
+    check(id);
+    return {keys_.data() + key_base(id),
+            static_cast<size_t>(nkeys_[static_cast<size_t>(id)])};
+  }
+  std::span<const NodeId> children(NodeId id) const {
+    check(id);
+    return {children_.data() + child_base(id),
+            static_cast<size_t>(nkeys_[static_cast<size_t>(id)]) + 1};
+  }
+  NodeId child(NodeId id, int slot) const {
+    return children_[child_base(check(id)) + static_cast<size_t>(slot)];
+  }
 
   // --- topology queries -----------------------------------------------
-  /// Number of edges on the root path. O(depth).
+  /// Number of edges on the root path. O(1) when memoized (see depth cache
+  /// note above); otherwise walks to the nearest fresh ancestor and stamps
+  /// the path.
   int depth(NodeId id) const;
-  /// Lowest common ancestor. O(depth(u) + depth(v)).
+  /// True iff `id`'s depth memo is valid for the current topology (test /
+  /// diagnostics hook for the cache machinery).
+  bool depth_is_cached(NodeId id) const {
+    check(id);
+    return !dirty_ && depth_epoch_[static_cast<size_t>(id)] == epoch_;
+  }
+  /// Lowest common ancestor: equalizes depths, then walks up in lockstep.
+  /// O(distance) plus the cost of the two depth() reads.
   NodeId lca(NodeId u, NodeId v) const;
-  /// Tree distance in edges between two nodes. O(depth).
+  /// Tree distance in edges between two nodes; single depth-directed walk,
+  /// no lca() recomputation.
   int distance(NodeId u, NodeId v) const;
+  /// LCA and distance from one walk — what serve() needs per request.
+  PathInfo path_info(NodeId u, NodeId v) const;
   /// Nodes of the unique u->v routing path, endpoints included.
   std::vector<NodeId> route(NodeId u, NodeId v) const;
+  /// Buffer-reusing variant: replaces `out` with the path and returns its
+  /// edge count. No allocation once `out`'s capacity covers the path.
+  int route_into(NodeId u, NodeId v, std::vector<NodeId>& out) const;
   /// True iff `anc` lies on the root path of `id` (anc == id counts).
   bool is_ancestor(NodeId anc, NodeId id) const;
 
@@ -59,6 +140,9 @@ class KAryTree {
   /// visited path. Throws TreeError if the search property is broken in a
   /// way that makes `target` unreachable.
   std::vector<NodeId> search_from_root(NodeId target) const;
+  /// Buffer-reusing variant of search_from_root; returns the edge count of
+  /// the found path (== depth of `target`).
+  int search_from_root_into(NodeId target, std::vector<NodeId>& out) const;
 
   /// Index of the child interval of `id` that contains `key`:
   /// count of routing keys <= key. O(log k).
@@ -66,38 +150,80 @@ class KAryTree {
 
   /// Sum over requests of d(u,v): total routing cost of a demand matrix
   /// entry stream is computed by callers; this helper returns d over all
-  /// ordered pairs weighted 1 (uniform total distance). O(n^2 * depth).
+  /// ordered pairs weighted 1 (uniform total distance). O(n).
   Cost uniform_total_distance() const;
 
   // --- low-level mutation (rotation engine / builders) -----------------
   void set_root(NodeId id);
   /// Installs keys/children on `id` and fixes the parent/slot back-links of
-  /// every non-empty child. Does not touch `id`'s own parent link.
-  void install(NodeId id, std::vector<RoutingKey> keys,
-               std::vector<NodeId> children, RoutingKey lo, RoutingKey hi);
+  /// every non-empty child. Does not touch `id`'s own parent link. The
+  /// spans are copied into the flat storage; they must not alias this
+  /// tree's own key/child buffers.
+  void install(NodeId id, std::span<const RoutingKey> keys,
+               std::span<const NodeId> children, RoutingKey lo, RoutingKey hi);
+  /// Brace-list convenience for builders and tests.
+  void install(NodeId id, std::initializer_list<RoutingKey> keys,
+               std::initializer_list<NodeId> children, RoutingKey lo,
+               RoutingKey hi) {
+    install(id, std::span<const RoutingKey>(keys.begin(), keys.size()),
+            std::span<const NodeId>(children.begin(), children.size()), lo, hi);
+  }
   /// Points `parent`'s child slot at `child` and sets the back-link.
   /// `parent == kNoNode` makes `child` the root.
   void link(NodeId parent, int slot, NodeId child);
 
   // --- validation -------------------------------------------------------
-  /// Full structural + search-property audit. Returns std::nullopt when the
-  /// tree is a valid k-ary search tree network covering all n nodes, else a
-  /// human-readable description of the first violation found.
+  /// Full structural + search-property audit, including the depth cache:
+  /// every node whose depth memo is stamped fresh must hold its true depth.
+  /// Returns std::nullopt when the tree is a valid k-ary search tree
+  /// network covering all n nodes, else a human-readable description of the
+  /// first violation found.
   std::optional<std::string> validate() const;
 
   /// Convenience: validate() == nullopt.
   bool valid() const { return !validate().has_value(); }
 
  private:
-  int check(NodeId id) const {
+  NodeId check(NodeId id) const {
     if (id < 1 || id > n_) throw TreeError("node id out of range");
     return id;
+  }
+  size_t key_base(NodeId id) const {
+    return static_cast<size_t>(id - 1) * static_cast<size_t>(k_ - 1);
+  }
+  size_t child_base(NodeId id) const {
+    return static_cast<size_t>(id - 1) * static_cast<size_t>(k_);
+  }
+  /// Folds any pending mutation into one O(1) epoch bump; called by every
+  /// depth-dependent read.
+  void sync_epoch() const {
+    if (dirty_) {
+      ++epoch_;
+      dirty_ = false;
+    }
   }
 
   int k_;
   int n_;
   NodeId root_ = kNoNode;
-  std::vector<TreeNode> nodes_;  // index 0 unused; ids are 1-based
+
+  // Structure-of-arrays node storage; index 0 unused (ids are 1-based) in
+  // the scalar arrays, flat buffers are 0-based via key_base/child_base.
+  std::vector<NodeId> parent_;
+  std::vector<std::int32_t> slot_in_parent_;
+  std::vector<RoutingKey> lo_;
+  std::vector<RoutingKey> hi_;
+  std::vector<std::int32_t> nkeys_;
+  std::vector<RoutingKey> keys_;    ///< n * (k-1) inline key slots
+  std::vector<NodeId> children_;    ///< n * k inline child slots
+
+  // Depth memoization (see class comment). Mutable: filled by const reads.
+  mutable std::vector<std::int32_t> depth_;
+  mutable std::vector<std::uint64_t> depth_epoch_;
+  mutable std::uint64_t epoch_ = 1;
+  mutable bool dirty_ = false;
+  mutable std::vector<NodeId> depth_scratch_;  ///< repair-walk path buffer
+  mutable std::vector<NodeId> route_scratch_;  ///< route_into v-side buffer
 };
 
 }  // namespace san

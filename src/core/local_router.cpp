@@ -4,8 +4,9 @@
 
 namespace san {
 
-std::vector<Hop> local_route(const KAryTree& tree, NodeId src, NodeId dst) {
-  std::vector<Hop> hops;
+int local_route_into(const KAryTree& tree, NodeId src, NodeId dst,
+                     std::vector<Hop>& hops) {
+  hops.clear();
   NodeId cur = src;
   // The port the packet arrived on: kNoNode for "fresh" / "from parent",
   // otherwise the child we just bounced back from. Keys are value
@@ -18,10 +19,10 @@ std::vector<Hop> local_route(const KAryTree& tree, NodeId src, NodeId dst) {
   while (true) {
     if (hops.size() > 4 * static_cast<size_t>(tree.size()))
       throw TreeError("local_route: packet is looping");
-    const TreeNode& nd = tree.node(cur);
+    const TreeNode nd = tree.node(cur);
     if (cur == dst) {
       hops.push_back({cur, HopKind::kDeliverLocal, kNoNode});
-      return hops;
+      return static_cast<int>(hops.size()) - 1;
     }
     NodeId next = kNoNode;
     HopKind kind = HopKind::kToParent;
@@ -49,8 +50,15 @@ std::vector<Hop> local_route(const KAryTree& tree, NodeId src, NodeId dst) {
   }
 }
 
+std::vector<Hop> local_route(const KAryTree& tree, NodeId src, NodeId dst) {
+  std::vector<Hop> hops;
+  local_route_into(tree, src, dst, hops);
+  return hops;
+}
+
 int local_route_length(const KAryTree& tree, NodeId src, NodeId dst) {
-  return static_cast<int>(local_route(tree, src, dst).size()) - 1;
+  thread_local std::vector<Hop> hops;
+  return local_route_into(tree, src, dst, hops);
 }
 
 }  // namespace san

@@ -30,7 +30,14 @@ struct Hop {
 /// hop count exceeds n.
 std::vector<Hop> local_route(const KAryTree& tree, NodeId src, NodeId dst);
 
-/// Number of edges traversed by local forwarding.
+/// Buffer-reusing variant: replaces `out` with the hop sequence and returns
+/// the number of edges traversed. No allocation once `out`'s capacity
+/// covers the path — the form the simulator uses on its per-request loop.
+int local_route_into(const KAryTree& tree, NodeId src, NodeId dst,
+                     std::vector<Hop>& out);
+
+/// Number of edges traversed by local forwarding. Allocation-free in steady
+/// state (reuses a thread-local hop buffer).
 int local_route_length(const KAryTree& tree, NodeId src, NodeId dst);
 
 }  // namespace san

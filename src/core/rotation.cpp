@@ -7,32 +7,53 @@
 namespace san {
 namespace {
 
-// Alternating element/interval sequence produced by merging adjacent nodes.
-// slots.size() == elems.size() + 1; slots[i] is the (possibly empty) subtree
-// sitting in the interval (elems[i-1], elems[i]) with range sentinels at the
-// ends. Every interval holds at most one subtree because each participating
-// node's children occupy disjoint consecutive intervals.
-struct Merged {
+// Alternating element/interval sequence produced by merging adjacent nodes,
+// plus the pre-rotation edge snapshot. slots.size() == elems.size() + 1;
+// slots[i] is the (possibly empty) subtree sitting in the interval
+// (elems[i-1], elems[i]) with range sentinels at the ends. Every interval
+// holds at most one subtree because each participating node's children
+// occupy disjoint consecutive intervals.
+//
+// The buffers are thread_local and grow to the per-arity high-water mark on
+// first use (a k-splay merges at most 3(k-1) elements), after which every
+// rotation runs without touching the heap — the serve() hot path performs
+// zero allocations in steady state.
+struct Scratch {
   std::vector<RoutingKey> elems;
   std::vector<NodeId> slots;
+  std::vector<NodeId> snap_nodes;
+  std::vector<NodeId> snap_parents;
 };
 
-Merged expand(const KAryTree& tree, NodeId id) {
-  const TreeNode& nd = tree.node(id);
-  return Merged{nd.keys, nd.children};
+Scratch& scratch_for(int k) {
+  thread_local Scratch s;
+  const size_t cap = 3 * static_cast<size_t>(k);
+  s.elems.reserve(cap);
+  s.slots.reserve(cap + 1);
+  s.snap_nodes.reserve(cap + 4);
+  s.snap_parents.reserve(cap + 4);
+  return s;
+}
+
+void expand(Scratch& m, const KAryTree& tree, NodeId id) {
+  const std::span<const RoutingKey> ks = tree.keys(id);
+  const std::span<const NodeId> cs = tree.children(id);
+  m.elems.assign(ks.begin(), ks.end());
+  m.slots.assign(cs.begin(), cs.end());
 }
 
 // Replaces slot `at` (which must currently hold `child`) with `child`'s own
 // keys and child slots.
-void splice(Merged& m, int at, const KAryTree& tree, NodeId child) {
-  assert(m.slots[at] == child);
-  const TreeNode& nd = tree.node(child);
+void splice(Scratch& m, int at, const KAryTree& tree, NodeId child) {
+  assert(m.slots[static_cast<size_t>(at)] == child);
+  const std::span<const RoutingKey> ks = tree.keys(child);
+  const std::span<const NodeId> cs = tree.children(child);
   m.slots.erase(m.slots.begin() + at);
-  m.slots.insert(m.slots.begin() + at, nd.children.begin(), nd.children.end());
-  m.elems.insert(m.elems.begin() + at, nd.keys.begin(), nd.keys.end());
+  m.slots.insert(m.slots.begin() + at, cs.begin(), cs.end());
+  m.elems.insert(m.elems.begin() + at, ks.begin(), ks.end());
 }
 
-int interval_index(const Merged& m, RoutingKey value) {
+int interval_index(const Scratch& m, RoutingKey value) {
   return static_cast<int>(
       std::upper_bound(m.elems.begin(), m.elems.end(), value) -
       m.elems.begin());
@@ -62,7 +83,7 @@ struct BlockAvoid {
 // routing-based position with its id as one of its own boundaries; if not,
 // the id value lies strictly inside an interval and the block must span
 // that interval.
-int collapse_block(KAryTree& tree, Merged& m, NodeId id, int s,
+int collapse_block(KAryTree& tree, Scratch& m, NodeId id, int s,
                    BlockPlacement placement, RoutingKey outer_lo,
                    RoutingKey outer_hi, BlockAvoid avoid = {}) {
   const int M = static_cast<int>(m.elems.size());
@@ -104,12 +125,17 @@ int collapse_block(KAryTree& tree, Merged& m, NodeId id, int s,
     }
   }
 
-  const RoutingKey lo = (a == 0) ? outer_lo : m.elems[a - 1];
-  const RoutingKey hi = (a + s == M) ? outer_hi : m.elems[a + s];
-  std::vector<RoutingKey> keys(m.elems.begin() + a, m.elems.begin() + a + s);
-  std::vector<NodeId> children(m.slots.begin() + a,
-                               m.slots.begin() + a + s + 1);
-  tree.install(id, std::move(keys), std::move(children), lo, hi);
+  const RoutingKey lo = (a == 0) ? outer_lo : m.elems[static_cast<size_t>(a - 1)];
+  const RoutingKey hi =
+      (a + s == M) ? outer_hi : m.elems[static_cast<size_t>(a + s)];
+  // Spans view the scratch buffers; install() copies them into the tree's
+  // flat storage before we shrink the merged sequence below.
+  tree.install(id,
+               std::span<const RoutingKey>(m.elems.data() + a,
+                                           static_cast<size_t>(s)),
+               std::span<const NodeId>(m.slots.data() + a,
+                                       static_cast<size_t>(s) + 1),
+               lo, hi);
 
   m.elems.erase(m.elems.begin() + a, m.elems.begin() + a + s);
   m.slots.erase(m.slots.begin() + a, m.slots.begin() + a + s + 1);
@@ -127,27 +153,21 @@ int clamp_block_size(int desired, int total_remaining, int budget_after,
   return std::clamp(desired, lower, upper);
 }
 
-struct EdgeSnapshot {
-  std::vector<NodeId> nodes;
-  std::vector<NodeId> parents;
-};
-
-EdgeSnapshot snapshot(const KAryTree& tree, const Merged& m,
-                      std::initializer_list<NodeId> protagonists) {
-  EdgeSnapshot snap;
+void snapshot(Scratch& m, const KAryTree& tree,
+              std::initializer_list<NodeId> protagonists) {
+  m.snap_nodes.clear();
+  m.snap_parents.clear();
   for (NodeId s : m.slots)
-    if (s != kNoNode) snap.nodes.push_back(s);
-  for (NodeId p : protagonists) snap.nodes.push_back(p);
-  snap.parents.reserve(snap.nodes.size());
-  for (NodeId nd : snap.nodes) snap.parents.push_back(tree.node(nd).parent);
-  return snap;
+    if (s != kNoNode) m.snap_nodes.push_back(s);
+  for (NodeId p : protagonists) m.snap_nodes.push_back(p);
+  for (NodeId nd : m.snap_nodes) m.snap_parents.push_back(tree.parent(nd));
 }
 
-RotationResult diff(const KAryTree& tree, const EdgeSnapshot& snap) {
+RotationResult diff(const KAryTree& tree, const Scratch& m) {
   RotationResult res;
-  for (size_t i = 0; i < snap.nodes.size(); ++i) {
-    NodeId now = tree.node(snap.nodes[i]).parent;
-    NodeId before = snap.parents[i];
+  for (size_t i = 0; i < m.snap_nodes.size(); ++i) {
+    NodeId now = tree.parent(m.snap_nodes[i]);
+    NodeId before = m.snap_parents[i];
     if (now == before) continue;
     ++res.parent_changes;
     if (before != kNoNode) ++res.edge_changes;  // link removed
@@ -160,20 +180,19 @@ RotationResult diff(const KAryTree& tree, const EdgeSnapshot& snap) {
 
 RotationResult k_semi_splay(KAryTree& tree, NodeId x,
                             const RotationPolicy& policy) {
-  const TreeNode& xn = tree.node(x);
-  const NodeId p = xn.parent;
+  const NodeId p = tree.parent(x);
   if (p == kNoNode) throw TreeError("k_semi_splay: node is the root");
-  const int x_slot = xn.slot_in_parent;
-  const TreeNode& pn = tree.node(p);
-  const NodeId g = pn.parent;
-  const int g_slot = pn.slot_in_parent;
-  const RoutingKey lo = pn.lo;
-  const RoutingKey hi = pn.hi;
+  const int x_slot = tree.slot_in_parent(x);
+  const NodeId g = tree.parent(p);
+  const int g_slot = tree.slot_in_parent(p);
+  const RoutingKey lo = tree.lo(p);
+  const RoutingKey hi = tree.hi(p);
   const int k = tree.arity();
 
-  Merged m = expand(tree, p);
+  Scratch& m = scratch_for(k);
+  expand(m, tree, p);
   splice(m, x_slot, tree, x);
-  const EdgeSnapshot snap = snapshot(tree, m, {x, p});
+  snapshot(m, tree, {x, p});
 
   const int M = static_cast<int>(m.elems.size());
   const int desired =
@@ -183,38 +202,36 @@ RotationResult k_semi_splay(KAryTree& tree, NodeId x,
   if (policy.case_preference) p_avoid.soft = interval_index(m, id_key(x));
   collapse_block(tree, m, p, s_p, policy.placement, lo, hi, p_avoid);
 
-  tree.install(x, std::move(m.elems), std::move(m.slots), lo, hi);
+  tree.install(x, m.elems, m.slots, lo, hi);
   if (g == kNoNode)
     tree.set_root(x);
   else
     tree.link(g, g_slot, x);
-  return diff(tree, snap);
+  return diff(tree, m);
 }
 
 RotationResult k_splay(KAryTree& tree, NodeId x, const RotationPolicy& policy) {
-  const TreeNode& xn = tree.node(x);
-  const NodeId p = xn.parent;
+  const NodeId p = tree.parent(x);
   if (p == kNoNode) throw TreeError("k_splay: node is the root");
-  const int x_slot = xn.slot_in_parent;
-  const TreeNode& pn = tree.node(p);
-  const NodeId g = pn.parent;
+  const int x_slot = tree.slot_in_parent(x);
+  const NodeId g = tree.parent(p);
   if (g == kNoNode) throw TreeError("k_splay: node has no grandparent");
-  const int p_slot = pn.slot_in_parent;
-  const TreeNode& gn = tree.node(g);
-  const NodeId top = gn.parent;
-  const int top_slot = gn.slot_in_parent;
-  const RoutingKey lo = gn.lo;
-  const RoutingKey hi = gn.hi;
+  const int p_slot = tree.slot_in_parent(p);
+  const NodeId top = tree.parent(g);
+  const int top_slot = tree.slot_in_parent(g);
+  const RoutingKey lo = tree.lo(g);
+  const RoutingKey hi = tree.hi(g);
   const int k = tree.arity();
 
-  Merged m = expand(tree, g);
+  Scratch& m = scratch_for(k);
+  expand(m, tree, g);
   splice(m, p_slot, tree, p);
   // After splicing p's arrays at slot p_slot, p's former child slots begin
   // at index p_slot; x sits at offset x_slot within them.
   const int x_begin = p_slot + x_slot;
-  const int x_len = static_cast<int>(tree.node(x).children.size());
+  const int x_len = tree.num_children(x);
   splice(m, x_begin, tree, x);
-  const EdgeSnapshot snap = snapshot(tree, m, {x, p, g});
+  snapshot(m, tree, {x, p, g});
 
   const int M = static_cast<int>(m.elems.size());
   const bool greedy = policy.sizing == BlockSizing::kGreedyMax;
@@ -243,12 +260,12 @@ RotationResult k_splay(KAryTree& tree, NodeId x, const RotationPolicy& policy) {
   if (policy.case_preference) p_avoid.soft = g_slot;
   collapse_block(tree, m, p, s_p, policy.placement, lo, hi, p_avoid);
 
-  tree.install(x, std::move(m.elems), std::move(m.slots), lo, hi);
+  tree.install(x, m.elems, m.slots, lo, hi);
   if (top == kNoNode)
     tree.set_root(x);
   else
     tree.link(top, top_slot, x);
-  return diff(tree, snap);
+  return diff(tree, m);
 }
 
 }  // namespace san

@@ -28,12 +28,13 @@ KArySplayNet KArySplayNet::balanced(int k, int n, RotationPolicy policy,
 
 ServeResult KArySplayNet::splay_until_parent(NodeId x, NodeId stop_parent) {
   ServeResult res;
-  while (tree_.node(x).parent != stop_parent) {
-    const NodeId p = tree_.node(x).parent;
+  while (true) {
+    const NodeId p = tree_.parent(x);
+    if (p == stop_parent) break;
     if (p == kNoNode)
       throw TreeError("splay_until_parent: stop parent not on root path");
     if (mode_ == SplayMode::kSemiSplayOnly ||
-        tree_.node(p).parent == stop_parent)
+        tree_.parent(p) == stop_parent)
       accumulate(res, k_semi_splay(tree_, x, policy_));
     else
       accumulate(res, k_splay(tree_, x, policy_));
@@ -44,11 +45,13 @@ ServeResult KArySplayNet::splay_until_parent(NodeId x, NodeId stop_parent) {
 ServeResult KArySplayNet::serve(NodeId u, NodeId v) {
   ServeResult res;
   if (u == v) return res;
-  const NodeId w = tree_.lca(u, v);
-  res.routing_cost = tree_.distance(u, v);
+  // One depth-directed walk yields both the pre-adjustment routing cost and
+  // the LCA whose position u will take.
+  const PathInfo path = tree_.path_info(u, v);
+  res.routing_cost = path.distance;
 
   // Phase 1: u takes the place of the lowest common ancestor.
-  const NodeId stop = tree_.node(w).parent;
+  const NodeId stop = tree_.parent(path.lca);
   ServeResult up = splay_until_parent(u, stop);
   // Phase 2: v becomes a child of u; the request is then one hop.
   ServeResult down = splay_until_parent(v, u);
@@ -146,7 +149,8 @@ CentroidSplayNet::CentroidSplayNet(int k, int n, RotationPolicy policy)
 ServeResult CentroidSplayNet::serve(NodeId u, NodeId v) {
   ServeResult res;
   if (u == v) return res;
-  res.routing_cost = net_.tree().distance(u, v);
+  const PathInfo path = net_.tree().path_info(u, v);
+  res.routing_cost = path.distance;
 
   const int su = subtree_of(u);
   const int sv = subtree_of(v);
@@ -154,8 +158,7 @@ ServeResult CentroidSplayNet::serve(NodeId u, NodeId v) {
     // Intra-subtree request: exactly the k-ary SplayNet behaviour, confined
     // to the subtree (the LCA is inside it, so rotations never touch the
     // centroids).
-    const NodeId w = net_.tree().lca(u, v);
-    ServeResult up = net_.splay_until_parent(u, net_.tree().node(w).parent);
+    ServeResult up = net_.splay_until_parent(u, net_.tree().parent(path.lca));
     ServeResult down = net_.splay_until_parent(v, u);
     res.rotations = up.rotations + down.rotations;
     res.parent_changes = up.parent_changes + down.parent_changes;

@@ -24,6 +24,8 @@ struct ServeResult {
   int rotations = 0;      ///< k-splay + k-semi-splay steps performed
   int parent_changes = 0;
   int edge_changes = 0;  ///< links added + removed (Section 2 adjustment)
+
+  friend bool operator==(const ServeResult&, const ServeResult&) = default;
 };
 
 /// How aggressively the network self-adjusts.

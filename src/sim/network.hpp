@@ -19,6 +19,18 @@ class Network {
   virtual std::string name() const = 0;
 };
 
+/// Shared costing for never-adjusting topologies: pure pre-adjustment
+/// routing, zero rotations. Both StaticTreeNetwork::serve and
+/// run_trace_static (simulator.cpp) route through this one helper so the
+/// two static costing paths cannot drift apart
+/// (tests/test_simulator.cpp: StaticPathsAgree).
+inline ServeResult serve_on_static_tree(const KAryTree& tree, NodeId u,
+                                        NodeId v) {
+  ServeResult r;
+  if (u != v) r.routing_cost = tree.distance(u, v);
+  return r;
+}
+
 /// Static tree: serving is pure routing, no adjustment ever happens.
 class StaticTreeNetwork final : public Network {
  public:
@@ -29,9 +41,7 @@ class StaticTreeNetwork final : public Network {
   }
 
   ServeResult serve(NodeId u, NodeId v) override {
-    ServeResult r;
-    if (u != v) r.routing_cost = tree_.distance(u, v);
-    return r;
+    return serve_on_static_tree(tree_, u, v);
   }
   int size() const override { return tree_.size(); }
   std::string name() const override { return name_; }

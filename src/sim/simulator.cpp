@@ -17,7 +17,7 @@ SimResult run_trace(Network& net, const Trace& trace) {
 SimResult run_trace_static(const KAryTree& tree, const Trace& trace) {
   SimResult res;
   for (const Request& r : trace.requests) {
-    if (r.src != r.dst) res.routing_cost += tree.distance(r.src, r.dst);
+    res.routing_cost += serve_on_static_tree(tree, r.src, r.dst).routing_cost;
     ++res.requests;
   }
   return res;

@@ -1,0 +1,195 @@
+// Property fuzz: randomized serve/access/rotation sequences interleaved
+// with full audits. Seeded and deterministic (tier1). Invariants beyond
+// validate()'s structural/search-property checks:
+//   * depth cache: depth() always equals an independent parent-chase
+//     recompute, reads stamp the memo, and validate() cross-checks every
+//     fresh memo against true BFS depths;
+//   * lo/hi ranges: recomputed top-down from the keys alone, they must
+//     partition each node's range exactly as the cached lo/hi claim;
+//   * adjustment accounting: each rotation's edge_changes/parent_changes
+//     must match an independently diffed before/after parent snapshot.
+#include <gtest/gtest.h>
+
+#include <random>
+#include <vector>
+
+#include "core/rotation.hpp"
+#include "core/shape.hpp"
+#include "core/splaynet.hpp"
+
+namespace san {
+namespace {
+
+// Independent depth recompute: pure parent chasing, no cache involvement.
+int chase_depth(const KAryTree& t, NodeId id) {
+  int d = 0;
+  for (NodeId cur = id; t.parent(cur) != kNoNode; cur = t.parent(cur)) ++d;
+  return d;
+}
+
+void expect_depth_cache_consistent(const KAryTree& t) {
+  for (NodeId id = 1; id <= t.size(); ++id) {
+    ASSERT_EQ(t.depth(id), chase_depth(t, id)) << "node " << id;
+    ASSERT_TRUE(t.depth_is_cached(id)) << "read did not stamp node " << id;
+  }
+  // With every memo now stamped, validate()'s depth audit covers all nodes.
+  const auto err = t.validate();
+  ASSERT_FALSE(err.has_value()) << *err;
+}
+
+// Recompute every node's [lo, hi) from the root down using only the keys,
+// and check the cached ranges and the child-interval partition.
+void expect_ranges_partition(const KAryTree& t) {
+  struct Frame {
+    NodeId id;
+    RoutingKey lo, hi;
+  };
+  std::vector<Frame> stack = {{t.root(), kKeyMin, kKeyMax}};
+  int visited = 0;
+  while (!stack.empty()) {
+    const Frame f = stack.back();
+    stack.pop_back();
+    ++visited;
+    ASSERT_EQ(t.lo(f.id), f.lo) << "node " << f.id;
+    ASSERT_EQ(t.hi(f.id), f.hi) << "node " << f.id;
+    const TreeNode nd = t.node(f.id);
+    // The child intervals (lo, k1), (k1, k2), ..., (km, hi) partition the
+    // node's open range: consecutive, non-empty, strictly increasing.
+    RoutingKey prev = f.lo;
+    for (const RoutingKey rk : nd.keys) {
+      ASSERT_GT(rk, prev) << "node " << f.id;
+      prev = rk;
+    }
+    ASSERT_LT(prev, f.hi) << "node " << f.id;
+    for (size_t s = 0; s < nd.children.size(); ++s) {
+      const NodeId c = nd.children[s];
+      if (c == kNoNode) continue;
+      const RoutingKey clo = (s == 0) ? f.lo : nd.keys[s - 1];
+      const RoutingKey chi = (s == nd.keys.size()) ? f.hi : nd.keys[s];
+      // The child's own id must fall strictly inside its interval.
+      ASSERT_GT(id_key(c), clo);
+      ASSERT_LT(id_key(c), chi);
+      stack.push_back({c, clo, chi});
+    }
+  }
+  ASSERT_EQ(visited, t.size());
+}
+
+std::vector<NodeId> snapshot_parents(const KAryTree& t) {
+  std::vector<NodeId> parents(static_cast<size_t>(t.size()) + 1, kNoNode);
+  for (NodeId id = 1; id <= t.size(); ++id) parents[id] = t.parent(id);
+  return parents;
+}
+
+RotationResult diff_parents(const KAryTree& t,
+                            const std::vector<NodeId>& before) {
+  RotationResult res;
+  for (NodeId id = 1; id <= t.size(); ++id) {
+    const NodeId now = t.parent(id);
+    if (now == before[static_cast<size_t>(id)]) continue;
+    ++res.parent_changes;
+    if (before[static_cast<size_t>(id)] != kNoNode) ++res.edge_changes;
+    if (now != kNoNode) ++res.edge_changes;
+  }
+  return res;
+}
+
+TEST(FuzzInvariants, ServeAccessMixWithFullAudits) {
+  for (const auto& [k, n, seed] : {std::tuple{2, 48, 101u},
+                                   std::tuple{3, 80, 202u},
+                                   std::tuple{5, 120, 303u},
+                                   std::tuple{8, 64, 404u}}) {
+    std::mt19937_64 rng(seed);
+    KArySplayNet net(build_from_shape(k, make_random_shape(n, k, rng)));
+    std::uniform_int_distribution<NodeId> pick(1, n);
+    std::uniform_int_distribution<int> op(0, 9);
+    for (int i = 0; i < 1200; ++i) {
+      const NodeId u = pick(rng);
+      NodeId v = pick(rng);
+      while (v == u) v = pick(rng);
+      if (op(rng) == 0)
+        net.access(u);
+      else
+        net.serve(u, v);
+      if (i % 100 == 99) {
+        expect_depth_cache_consistent(net.tree());
+        expect_ranges_partition(net.tree());
+      }
+    }
+  }
+}
+
+TEST(FuzzInvariants, RotationAccountingMatchesIndependentEdgeDiff) {
+  for (const auto& [k, n, seed] : {std::tuple{2, 40, 1u}, std::tuple{3, 60, 2u},
+                                   std::tuple{6, 90, 3u}}) {
+    std::mt19937_64 rng(seed);
+    KAryTree t = build_from_shape(k, make_random_shape(n, k, rng));
+    std::uniform_int_distribution<NodeId> pick(1, n);
+    int splays = 0, semis = 0;
+    for (int i = 0; i < 1500; ++i) {
+      const NodeId x = pick(rng);
+      const NodeId p = t.parent(x);
+      if (p == kNoNode) continue;  // root: no rotation defined
+      const std::vector<NodeId> before = snapshot_parents(t);
+      RotationResult reported;
+      if (t.parent(p) != kNoNode && (rng() & 1)) {
+        reported = k_splay(t, x);
+        ++splays;
+      } else {
+        reported = k_semi_splay(t, x);
+        ++semis;
+      }
+      const RotationResult independent = diff_parents(t, before);
+      ASSERT_EQ(reported.parent_changes, independent.parent_changes)
+          << "k=" << k << " rotation " << i << " of node " << x;
+      ASSERT_EQ(reported.edge_changes, independent.edge_changes)
+          << "k=" << k << " rotation " << i << " of node " << x;
+      if (i % 150 == 0) {
+        const auto err = t.validate();
+        ASSERT_FALSE(err.has_value()) << *err;
+      }
+    }
+    // The mix must actually exercise both rotation kinds.
+    EXPECT_GT(splays, 100);
+    EXPECT_GT(semis, 100);
+  }
+}
+
+TEST(FuzzInvariants, DepthMemoSurvivesInterleavedReadsAndRotations) {
+  // Reads fill the memo; rotations invalidate it wholesale via the epoch.
+  // Interleave them in every order and verify depth() never returns a stale
+  // value (the exact failure mode an incremental-update bug would cause).
+  std::mt19937_64 rng(555);
+  KAryTree t = build_from_shape(4, make_random_shape(100, 4, rng));
+  std::uniform_int_distribution<NodeId> pick(1, 100);
+  for (int i = 0; i < 3000; ++i) {
+    const NodeId x = pick(rng);
+    switch (rng() % 3) {
+      case 0:
+        ASSERT_EQ(t.depth(x), chase_depth(t, x)) << "op " << i;
+        break;
+      case 1: {
+        if (t.parent(x) == kNoNode) break;
+        if (t.parent(t.parent(x)) != kNoNode)
+          k_splay(t, x);
+        else
+          k_semi_splay(t, x);
+        break;
+      }
+      case 2: {
+        NodeId y = pick(rng);
+        const PathInfo info = t.path_info(x, y);
+        ASSERT_EQ(info.distance,
+                  chase_depth(t, x) + chase_depth(t, y) -
+                      2 * chase_depth(t, info.lca))
+            << "op " << i;
+        ASSERT_TRUE(t.is_ancestor(info.lca, x));
+        ASSERT_TRUE(t.is_ancestor(info.lca, y));
+        break;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace san

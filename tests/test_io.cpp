@@ -1,6 +1,7 @@
 // Trace / tree serialization round-trips and failure injection.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <sstream>
 
 #include "core/rotation.hpp"
@@ -72,8 +73,9 @@ TEST(TreeIo, RoundTripPreservesTopology) {
     EXPECT_EQ(back.root(), t.root());
     for (NodeId id = 1; id <= 60; ++id) {
       EXPECT_EQ(back.node(id).parent, t.node(id).parent);
-      EXPECT_EQ(back.node(id).keys, t.node(id).keys);
-      EXPECT_EQ(back.node(id).children, t.node(id).children);
+      EXPECT_TRUE(std::ranges::equal(back.node(id).keys, t.node(id).keys));
+      EXPECT_TRUE(
+          std::ranges::equal(back.node(id).children, t.node(id).children));
     }
   }
 }

@@ -2,6 +2,9 @@
 // adapters, and agreement between the static shortcut and the adapter path.
 #include <gtest/gtest.h>
 
+#include <random>
+
+#include "core/shape.hpp"
 #include "sim/network.hpp"
 #include "sim/simulator.hpp"
 #include "static_trees/full_tree.hpp"
@@ -29,6 +32,37 @@ TEST(Simulator, StaticShortcutMatchesAdapter) {
   SimResult direct = run_trace_static(tree, t);
   EXPECT_EQ(via_adapter.routing_cost, direct.routing_cost);
   EXPECT_EQ(via_adapter.requests, direct.requests);
+}
+
+TEST(Simulator, StaticPathsAgreeOnRandomTreesAndTraces) {
+  // run_trace_static and StaticTreeNetwork::serve share one costing helper
+  // (serve_on_static_tree); this locks their agreement — totals and
+  // per-request — over random topologies and every workload family.
+  std::mt19937_64 rng(20260728);
+  for (int k : {2, 3, 7}) {
+    for (int trial = 0; trial < 3; ++trial) {
+      const int n = 40 + static_cast<int>(rng() % 60);
+      KAryTree tree = build_from_shape(k, make_random_shape(n, k, rng));
+      StaticTreeNetwork net(tree, "random static");
+      // Draw into locals: argument evaluation order is unsequenced and the
+      // chosen (kind, seed) pair must not depend on the compiler.
+      const auto kind = static_cast<WorkloadKind>(rng() % 8);
+      const std::uint64_t trace_seed = rng();
+      const Trace t = gen_workload(kind, n, 1500, trace_seed);
+      SimResult via_adapter = run_trace(net, t);
+      SimResult direct = run_trace_static(tree, t);
+      EXPECT_EQ(via_adapter.routing_cost, direct.routing_cost)
+          << "k=" << k << " trial " << trial;
+      EXPECT_EQ(via_adapter.rotation_count, direct.rotation_count);
+      EXPECT_EQ(via_adapter.edge_changes, direct.edge_changes);
+      EXPECT_EQ(via_adapter.requests, direct.requests);
+      for (const Request& r : t.requests) {
+        ASSERT_EQ(net.serve(r.src, r.dst).routing_cost,
+                  serve_on_static_tree(tree, r.src, r.dst).routing_cost)
+            << r.src << " -> " << r.dst;
+      }
+    }
+  }
 }
 
 TEST(Simulator, OnlineAdaptersAccumulateCosts) {
