@@ -1,9 +1,11 @@
 #include "bench_common.hpp"
 
 #include <chrono>
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
 
+#include "core/executor.hpp"
 #include "core/splaynet.hpp"
 #include "sim/simulator.hpp"
 #include "static_trees/full_tree.hpp"
@@ -32,12 +34,26 @@ void init_bench_cli(int argc, char** argv) {
       cli.smoke = true;
     } else if (arg == "--json" && i + 1 < argc) {
       cli.json_path = argv[++i];
+    } else if (arg == "--threads" && i + 1 < argc) {
+      char* end = nullptr;
+      const long v = std::strtol(argv[++i], &end, 10);
+      if (end == argv[i] || *end != '\0' || v < 0 || v > 4096) {
+        std::cerr << "--threads must be an integer in [0, 4096] "
+                     "(0 = all hardware threads)\n";
+        std::exit(2);
+      }
+      cli.threads = static_cast<int>(v);
     } else {
-      std::cerr << "usage: " << argv[0] << " [--smoke] [--json <path>]\n";
+      std::cerr << "usage: " << argv[0]
+                << " [--smoke] [--json <path>] [--threads <N>]\n";
       std::exit(2);
     }
   }
 }
+
+int bench_threads() { return bench_cli().threads; }
+
+int bench_threads_resolved() { return resolve_threads(bench_cli().threads); }
 
 void write_json_result(const std::string& body) {
   const std::string& path = bench_cli().json_path;
@@ -87,7 +103,8 @@ void run_kary_table(WorkloadKind kind, const PaperKaryTable& paper,
     full_total[static_cast<size_t>(k)] =
         run_trace_static(full_kary_tree(k, n), trace).routing_cost;
     if (optimal_feasible) {
-      OptimalTreeResult opt = optimal_routing_based_tree(k, *demand, 0);
+      OptimalTreeResult opt =
+          optimal_routing_based_tree(k, *demand, bench_threads());
       opt_total[static_cast<size_t>(k)] =
           run_trace_static(opt.tree, trace).routing_cost;
     }

@@ -21,18 +21,30 @@ namespace san::bench {
 /// shrinks traces/instances to seconds-scale sizes (via trace_length() /
 /// node_count() / scaled()) so CI can run the perf binaries on every push
 /// without timing anything meaningful; `--json <path>` asks benches that
-/// support it (dp_scaling, serve_hot_path) to also emit a machine-readable
-/// result file (uploaded as a CI artifact).
+/// support it (dp_scaling, serve_hot_path, shard_scaling) to also emit a
+/// machine-readable result file (uploaded as a CI artifact); `--threads N`
+/// caps the Executor width of every parallel phase (sweeps, DP diagonals,
+/// sharded drains; 0 = all hardware threads) and is recorded in the JSON
+/// so a result file states the parallelism it was measured at.
 struct BenchCli {
   bool smoke = false;
   std::string json_path;
+  int threads = 0;
 };
 
 BenchCli& bench_cli();
 
-/// Parses `--smoke` and `--json <path>`; prints usage and exits(2) on
-/// anything else. Every bench main calls this first.
+/// Parses `--smoke`, `--json <path>` and `--threads N`; prints usage and
+/// exits(2) on anything else. Every bench main calls this first.
 void init_bench_cli(int argc, char** argv);
+
+/// Thread count benches pass to run_sweep / parallel_for / sharded drains
+/// (the raw --threads value; 0 = auto).
+int bench_threads();
+
+/// The width bench_threads() actually resolves to on this host — what the
+/// JSON records (core/executor.hpp: resolve_threads).
+int bench_threads_resolved();
 
 /// Writes `body` to the `--json` path when one was given; exits(1) on an
 /// unwritable path. No-op when --json was not passed.

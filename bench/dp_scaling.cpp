@@ -28,7 +28,8 @@ int main(int argc, char** argv) {
   using namespace san;
   bench::init_bench_cli(argc, argv);
   std::cout << "== DP scaling (Theorems 2 and 4) ==\n";
-  std::cout << "hardware threads: " << resolve_threads(0) << "\n\n";
+  std::cout << "threads: " << bench::bench_threads_resolved() << " of "
+            << resolve_threads(0) << " hardware\n\n";
 
   std::ostringstream json_rows;
   const bool smoke = bench::bench_cli().smoke;
@@ -42,7 +43,9 @@ int main(int argc, char** argv) {
       const Cost serial_cost = optimal_routing_based_tree(k, d, 1).total_distance;
       const double serial = seconds_since(t0);
       t0 = std::chrono::steady_clock::now();
-      const Cost thr_cost = optimal_routing_based_tree(k, d, 0).total_distance;
+      const Cost thr_cost =
+          optimal_routing_based_tree(k, d, bench::bench_threads())
+              .total_distance;
       const double threaded = seconds_since(t0);
       if (serial_cost != thr_cost) {
         std::cerr << "BUG: serial and threaded DP disagree\n";
@@ -75,7 +78,9 @@ int main(int argc, char** argv) {
   std::cout << "\nUniform-workload DP, O(n^2 k):\n";
   uniform.print();
 
-  bench::write_json_result("{\n  \"bench\": \"dp_scaling\",\n  \"general_dp\": [\n" +
-                           json_rows.str() + "\n  ]\n}\n");
+  bench::write_json_result(
+      "{\n  \"bench\": \"dp_scaling\",\n  \"threads\": " +
+      std::to_string(bench::bench_threads_resolved()) +
+      ",\n  \"general_dp\": [\n" + json_rows.str() + "\n  ]\n}\n");
   return 0;
 }

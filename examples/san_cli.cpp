@@ -3,6 +3,7 @@
 //   san_cli --workload hpc --topology ksplay --k 4 --n 500 --requests 100000
 //   san_cli --trace mytrace.txt --topology centroid --k 2
 //   san_cli --workload temporal075 --topology optimal --k 3 --dump-tree t.dot
+//   san_cli --workload facebook --topology ksplay --shards 8 --partition hash
 //
 // Workloads: uniform temporal025 temporal05 temporal075 temporal09 hpc
 //            projector facebook, or --trace FILE (san-trace v1).
@@ -10,6 +11,9 @@
 //             centroid ((k+1)-SplayNet), binary (classic SplayNet),
 //             full (static complete k-ary), optimal (static demand-aware
 //             DP over the whole trace — hindsight reference).
+// Sharding: --shards S > 1 partitions the node space into S independent
+// ksplay/semisplay shards under a static top-level tree (--partition
+// contiguous|hash) and reports per-shard locality.
 // Output: one summary table (mean / p50 / p99 / max per-request cost,
 // rotation and link-change totals) and optional CSV / dot dumps.
 #include <cstring>
@@ -22,13 +26,15 @@
 #include "core/splaynet.hpp"
 #include "io/trace_io.hpp"
 #include "io/tree_io.hpp"
-#include "sim/network.hpp"
+#include "sim/any_network.hpp"
+#include "sim/simulator.hpp"
 #include "static_trees/full_tree.hpp"
 #include "static_trees/optimal_dp.hpp"
 #include "stats/series.hpp"
 #include "stats/table.hpp"
 #include "workload/demand_matrix.hpp"
 #include "workload/generators.hpp"
+#include "workload/partition.hpp"
 #include "workload/trace_stats.hpp"
 
 namespace {
@@ -41,6 +47,8 @@ struct Options {
   std::string topology = "ksplay";
   int k = 3;
   int n = 0;  // 0 = workload default
+  int shards = 1;
+  std::string partition = "contiguous";
   std::size_t requests = 100000;
   std::uint64_t seed = 1;
   std::string dump_tree;   // dot output path
@@ -53,10 +61,12 @@ struct Options {
       << "usage: " << argv0
       << " [--workload NAME | --trace FILE] [--topology NAME] [--k K]\n"
          "          [--n N] [--requests M] [--seed S] [--csv]\n"
+         "          [--shards S] [--partition contiguous|hash]\n"
          "          [--dump-tree FILE.dot] [--dump-trace FILE]\n"
          "workloads: uniform temporal025 temporal05 temporal075 temporal09\n"
          "           hpc projector facebook\n"
-         "topologies: ksplay semisplay centroid binary full optimal\n";
+         "topologies: ksplay semisplay centroid binary full optimal\n"
+         "--shards > 1 runs ksplay/semisplay shards under a static top tree\n";
   std::exit(2);
 }
 
@@ -73,6 +83,8 @@ Options parse(int argc, char** argv) {
     else if (arg == "--topology") o.topology = next();
     else if (arg == "--k") o.k = std::stoi(next());
     else if (arg == "--n") o.n = std::stoi(next());
+    else if (arg == "--shards") o.shards = std::stoi(next());
+    else if (arg == "--partition") o.partition = next();
     else if (arg == "--requests") o.requests = std::stoull(next());
     else if (arg == "--seed") o.seed = std::stoull(next());
     else if (arg == "--dump-tree") o.dump_tree = next();
@@ -99,36 +111,46 @@ WorkloadKind parse_workload(const std::string& name) {
   return it->second;
 }
 
-std::unique_ptr<Network> make_network(const Options& o, const Trace& trace) {
+ShardPartition parse_partition(const std::string& name) {
+  if (name == "contiguous") return ShardPartition::kContiguous;
+  if (name == "hash") return ShardPartition::kHash;
+  throw TreeError("unknown partition policy: " + name);
+}
+
+AnyNetwork make_network(const Options& o, const Trace& trace) {
   const int n = trace.n;
-  if (o.topology == "ksplay")
-    return std::make_unique<KArySplayNetwork>(KArySplayNet::balanced(o.k, n));
-  if (o.topology == "semisplay")
-    return std::make_unique<KArySplayNetwork>(KArySplayNet::balanced(
-        o.k, n, RotationPolicy{}, SplayMode::kSemiSplayOnly));
+  const SplayMode mode = o.topology == "semisplay"
+                             ? SplayMode::kSemiSplayOnly
+                             : SplayMode::kFullSplay;
+  if (o.shards != 1) {
+    if (o.topology != "ksplay" && o.topology != "semisplay")
+      throw TreeError("--shards requires a ksplay or semisplay topology");
+    return ShardedNetwork::balanced(o.k, n, o.shards,
+                                    parse_partition(o.partition),
+                                    RotationPolicy{}, mode);
+  }
+  if (o.topology == "ksplay" || o.topology == "semisplay")
+    return KArySplayNetwork(
+        KArySplayNet::balanced(o.k, n, RotationPolicy{}, mode));
   if (o.topology == "centroid")
-    return std::make_unique<CentroidSplayNetwork>(CentroidSplayNet(o.k, n));
-  if (o.topology == "binary")
-    return std::make_unique<BinarySplayNetwork>(n);
+    return CentroidSplayNetwork(CentroidSplayNet(o.k, n));
+  if (o.topology == "binary") return BinarySplayNetwork(n);
   if (o.topology == "full")
-    return std::make_unique<StaticTreeNetwork>(full_kary_tree(o.k, n),
-                                               "full tree");
+    return StaticTreeNetwork(full_kary_tree(o.k, n), "full tree");
   if (o.topology == "optimal") {
     DemandMatrix d = DemandMatrix::from_trace(trace);
-    return std::make_unique<StaticTreeNetwork>(
-        optimal_routing_based_tree(o.k, d, 0).tree, "optimal static tree");
+    return StaticTreeNetwork(optimal_routing_based_tree(o.k, d, 0).tree,
+                             "optimal static tree");
   }
   throw TreeError("unknown topology: " + o.topology);
 }
 
-const KAryTree* tree_of(const Network& net) {
-  if (auto* s = dynamic_cast<const KArySplayNetwork*>(&net))
-    return &s->net().tree();
-  if (auto* c = dynamic_cast<const CentroidSplayNetwork*>(&net))
-    return &c->net().tree();
-  if (auto* t = dynamic_cast<const StaticTreeNetwork*>(&net))
-    return &t->tree();
-  return nullptr;  // classic binary SplayNet has its own representation
+const KAryTree* tree_of(AnyNetwork& net) {
+  if (auto* s = net.get_if<KArySplayNetwork>()) return &s->net().tree();
+  if (auto* c = net.get_if<CentroidSplayNetwork>()) return &c->net().tree();
+  if (auto* t = net.get_if<StaticTreeNetwork>()) return &t->tree();
+  // binary SplayNet has its own representation; sharded has S trees
+  return nullptr;
 }
 
 }  // namespace
@@ -144,20 +166,23 @@ int main(int argc, char** argv) {
     if (!o.dump_trace.empty()) write_trace_file(o.dump_trace, trace);
 
     const TraceStats st = compute_stats(trace);
-    std::unique_ptr<Network> net = make_network(o, trace);
+    AnyNetwork net = make_network(o, trace);
 
     CostSeries series;
     Cost routing = 0, rotations = 0, links = 0;
-    for (const Request& r : trace.requests) {
-      const ServeResult s = net->serve(r.src, r.dst);
-      series.add(s.routing_cost + s.rotations);
-      routing += s.routing_cost;
-      rotations += s.rotations;
-      links += s.edge_changes;
-    }
+    // One visit hoists the variant dispatch out of the replay loop.
+    net.visit([&](auto& n) {
+      for (const Request& r : trace.requests) {
+        const ServeResult s = n.serve(r.src, r.dst);
+        series.add(s.routing_cost + s.rotations);
+        routing += s.routing_cost;
+        rotations += s.rotations;
+        links += s.edge_changes;
+      }
+    });
 
     Table out({"metric", "value"});
-    out.add_row({"network", net->name()});
+    out.add_row({"network", net.name()});
     out.add_row({"nodes", std::to_string(trace.n)});
     out.add_row({"requests", std::to_string(trace.size())});
     out.add_row({"trace repeat fraction", fixed_cell(st.repeat_fraction)});
@@ -168,13 +193,22 @@ int main(int argc, char** argv) {
     out.add_row({"total routing", std::to_string(routing)});
     out.add_row({"total rotations", std::to_string(rotations)});
     out.add_row({"total link changes", std::to_string(links)});
+    if (const auto* sharded = net.get_if<ShardedNetwork>()) {
+      const ShardLocalityStats ss = compute_shard_stats(trace, sharded->map());
+      out.add_row({"shards", std::to_string(sharded->num_shards()) + " (" +
+                                 o.partition + ")"});
+      out.add_row({"cross-shard requests",
+                   std::to_string(sharded->cross_shard_served())});
+      out.add_row({"intra-shard fraction", fixed_cell(ss.intra_fraction())});
+      out.add_row({"shard load imbalance", fixed_cell(ss.load_imbalance())});
+    }
     if (o.csv)
       std::cout << out.to_csv();
     else
       out.print();
 
     if (!o.dump_tree.empty()) {
-      const KAryTree* tree = tree_of(*net);
+      const KAryTree* tree = tree_of(net);
       if (tree == nullptr)
         throw TreeError("--dump-tree is not supported for this topology");
       std::ofstream dot(o.dump_tree);

@@ -63,12 +63,24 @@ ServeResult KArySplayNet::serve(NodeId u, NodeId v) {
 }
 
 ServeResult KArySplayNet::access(NodeId x) {
+  // The pre-adjustment depth (= routing cost of a root-originated request)
+  // is recovered from the splay itself instead of a separate depth() walk:
+  // every k-splay lifts x exactly two levels and every k-semi-splay one,
+  // so the levels climbed sum to the original depth. This keeps the
+  // cross-shard ascent path (sharded_network.cpp) at one tree walk per
+  // access and skips stamping depth memos the rotations would invalidate.
   ServeResult res;
-  res.routing_cost = tree_.depth(x);
-  ServeResult splay = splay_until_parent(x, kNoNode);
-  res.rotations = splay.rotations;
-  res.parent_changes = splay.parent_changes;
-  res.edge_changes = splay.edge_changes;
+  while (true) {
+    const NodeId p = tree_.parent(x);
+    if (p == kNoNode) break;
+    if (mode_ == SplayMode::kSemiSplayOnly || tree_.parent(p) == kNoNode) {
+      accumulate(res, k_semi_splay(tree_, x, policy_));
+      res.routing_cost += 1;
+    } else {
+      accumulate(res, k_splay(tree_, x, policy_));
+      res.routing_cost += 2;
+    }
+  }
   return res;
 }
 

@@ -1,5 +1,6 @@
 #include "io/trace_io.hpp"
 
+#include <algorithm>
 #include <fstream>
 #include <sstream>
 
@@ -20,23 +21,38 @@ void write_trace_file(const std::string& path, const Trace& trace) {
 }
 
 Trace read_trace(std::istream& in) {
+  // Parse the counts as signed 64-bit: streaming "-5" into a size_t
+  // silently wraps to a huge value, which the reserve() below would turn
+  // into an allocation bomb.
   std::string magic, version;
-  int n = 0;
-  std::size_t m = 0;
+  long long n = 0;
+  long long m = 0;
   if (!(in >> magic >> version >> n >> m) || magic != "san-trace" ||
       version != "v1")
     throw TreeError("read_trace: bad header (expected 'san-trace v1 n m')");
   if (n < 2) throw TreeError("read_trace: node count must be >= 2");
+  if (n > std::numeric_limits<NodeId>::max())
+    throw TreeError("read_trace: node count " + std::to_string(n) +
+                    " exceeds the NodeId range");
+  if (m < 0)
+    throw TreeError("read_trace: negative request count in header");
 
   Trace trace;
-  trace.n = n;
-  trace.requests.reserve(m);
+  trace.n = static_cast<int>(n);
+  // The header's m is the size hint for a single exact allocation; an
+  // absurd claim (hostile or corrupt header) is capped so memory stays
+  // proportional to data actually present — the body loop still enforces
+  // that exactly m requests arrive.
+  constexpr long long kMaxHeaderReserve = 1 << 20;  // covers the paper's 10^6
+  trace.requests.reserve(
+      static_cast<std::size_t>(std::min(m, kMaxHeaderReserve)));
+  const std::size_t want = static_cast<std::size_t>(m);
   std::string line;
   std::getline(in, line);  // finish header line
-  while (trace.requests.size() < m && std::getline(in, line)) {
+  while (trace.requests.size() < want && std::getline(in, line)) {
     if (line.empty() || line[0] == '#') continue;
     std::istringstream ls(line);
-    long src = 0, dst = 0;
+    long long src = 0, dst = 0;
     if (!(ls >> src >> dst))
       throw TreeError("read_trace: malformed request line: " + line);
     if (src < 1 || src > n || dst < 1 || dst > n)
@@ -46,7 +62,7 @@ Trace read_trace(std::istream& in) {
     trace.requests.push_back(
         {static_cast<NodeId>(src), static_cast<NodeId>(dst)});
   }
-  if (trace.requests.size() != m)
+  if (trace.requests.size() != want)
     throw TreeError("read_trace: truncated body (expected " +
                     std::to_string(m) + " requests, got " +
                     std::to_string(trace.requests.size()) + ")");

@@ -18,8 +18,11 @@ namespace san {
 void write_trace(std::ostream& out, const Trace& trace);
 void write_trace_file(const std::string& path, const Trace& trace);
 
-/// Parses a san-trace v1 stream. Throws TreeError on malformed input
-/// (bad header, out-of-range ids, self-loops, truncated body).
+/// Parses a san-trace v1 stream. Throws TreeError on malformed input:
+/// bad header (including negative or NodeId-overflowing counts),
+/// out-of-range node ids, self-loops, truncated body. The header's m is
+/// used as an exact reserve() hint, capped so a hostile header cannot
+/// force an allocation larger than the data actually supplied.
 Trace read_trace(std::istream& in);
 Trace read_trace_file(const std::string& path);
 

@@ -1,0 +1,99 @@
+// AnyNetwork: closed-set, virtual-free dispatch over every topology the
+// simulator serves.
+//
+// The per-request `virtual serve()` hierarchy used to cost an indirect
+// call (and block inlining) on every request of every replay. AnyNetwork
+// replaces it with a std::variant: run_trace visits the variant ONCE and
+// then runs a monomorphic serve loop on the concrete type, so the hot
+// path compiles down to direct calls into the tree engines.
+//
+// Open extension is still possible through the unique_ptr<Network>
+// alternative — a thin virtual adapter kept for factory boundaries
+// (sim/sweep.hpp) that want to sweep a topology the variant does not
+// know. Only that escape hatch pays virtual dispatch per request.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <type_traits>
+#include <utility>
+#include <variant>
+
+#include "sim/network.hpp"
+#include "sim/sharded_network.hpp"
+
+namespace san {
+
+class AnyNetwork {
+ public:
+  using Variant =
+      std::variant<StaticTreeNetwork, KArySplayNetwork, CentroidSplayNetwork,
+                   BinarySplayNetwork, ShardedNetwork,
+                   std::unique_ptr<Network>>;
+
+  /// Converting constructor from any alternative (concrete network by
+  /// value, or unique_ptr<Network> for the virtual escape hatch).
+  template <typename T,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::remove_cvref_t<T>, AnyNetwork> &&
+                std::is_constructible_v<Variant, T&&>>>
+  AnyNetwork(T&& net) : v_(std::forward<T>(net)) {  // NOLINT(runtime/explicit)
+    if (auto* p = std::get_if<std::unique_ptr<Network>>(&v_))
+      if (*p == nullptr)
+        throw TreeError("AnyNetwork: null Network adapter");
+  }
+
+  /// One-shot dispatch to the concrete type — what run_trace uses to hoist
+  /// the variant branch out of the serve loop. The unique_ptr<Network>
+  /// alternative is unwrapped to a Network& so callers see a servable
+  /// object either way.
+  template <typename F>
+  decltype(auto) visit(F&& f) {
+    return std::visit(
+        [&](auto& alt) -> decltype(auto) {
+          if constexpr (std::is_same_v<std::remove_cvref_t<decltype(alt)>,
+                                       std::unique_ptr<Network>>)
+            return std::forward<F>(f)(*alt);
+          else
+            return std::forward<F>(f)(alt);
+        },
+        v_);
+  }
+  template <typename F>
+  decltype(auto) visit(F&& f) const {
+    return std::visit(
+        [&](const auto& alt) -> decltype(auto) {
+          if constexpr (std::is_same_v<std::remove_cvref_t<decltype(alt)>,
+                                       std::unique_ptr<Network>>)
+            return std::forward<F>(f)(*alt);
+          else
+            return std::forward<F>(f)(alt);
+        },
+        v_);
+  }
+
+  ServeResult serve(NodeId u, NodeId v) {
+    return visit([&](auto& net) { return net.serve(u, v); });
+  }
+  int size() const {
+    return visit([](const auto& net) { return net.size(); });
+  }
+  std::string name() const {
+    return visit([](const auto& net) { return net.name(); });
+  }
+
+  /// Concrete-type access (nullptr when another alternative is held).
+  template <typename T>
+  T* get_if() {
+    return std::get_if<T>(&v_);
+  }
+  template <typename T>
+  const T* get_if() const {
+    return std::get_if<T>(&v_);
+  }
+
+ private:
+  Variant v_;
+};
+
+}  // namespace san

@@ -1,6 +1,13 @@
-// Uniform Network interface over every topology the evaluation compares:
-// self-adjusting (k-ary SplayNet, (k+1)-SplayNet, binary SplayNet) and
-// static (full tree, optimal DP tree, centroid tree).
+// Concrete network wrappers over every topology the evaluation compares:
+// self-adjusting (k-ary SplayNet, (k+1)-SplayNet, binary SplayNet, sharded)
+// and static (full tree, optimal DP tree, centroid tree).
+//
+// These are plain value types — serve() is a direct (devirtualized) call.
+// Closed-set dispatch across them goes through the std::variant-based
+// AnyNetwork (any_network.hpp); the virtual `Network` interface below
+// survives only as a thin adapter at the factory boundary for topologies
+// outside the variant (sweep cases may still hand over any subclass via
+// AnyNetwork's unique_ptr<Network> alternative).
 #pragma once
 
 #include <memory>
@@ -11,6 +18,8 @@
 
 namespace san {
 
+/// Open-extension escape hatch (see file comment). Every in-tree topology
+/// is served devirtualized through AnyNetwork instead.
 class Network {
  public:
   virtual ~Network() = default;
@@ -32,7 +41,7 @@ inline ServeResult serve_on_static_tree(const KAryTree& tree, NodeId u,
 }
 
 /// Static tree: serving is pure routing, no adjustment ever happens.
-class StaticTreeNetwork final : public Network {
+class StaticTreeNetwork {
  public:
   StaticTreeNetwork(KAryTree tree, std::string name)
       : tree_(std::move(tree)), name_(std::move(name)) {
@@ -40,11 +49,11 @@ class StaticTreeNetwork final : public Network {
       throw TreeError("StaticTreeNetwork: " + *err);
   }
 
-  ServeResult serve(NodeId u, NodeId v) override {
+  ServeResult serve(NodeId u, NodeId v) {
     return serve_on_static_tree(tree_, u, v);
   }
-  int size() const override { return tree_.size(); }
-  std::string name() const override { return name_; }
+  int size() const { return tree_.size(); }
+  std::string name() const { return name_; }
   const KAryTree& tree() const { return tree_; }
 
  private:
@@ -52,13 +61,13 @@ class StaticTreeNetwork final : public Network {
   std::string name_;
 };
 
-class KArySplayNetwork final : public Network {
+class KArySplayNetwork {
  public:
   explicit KArySplayNetwork(KArySplayNet net) : net_(std::move(net)) {}
 
-  ServeResult serve(NodeId u, NodeId v) override { return net_.serve(u, v); }
-  int size() const override { return net_.size(); }
-  std::string name() const override {
+  ServeResult serve(NodeId u, NodeId v) { return net_.serve(u, v); }
+  int size() const { return net_.size(); }
+  std::string name() const {
     return std::to_string(net_.arity()) + "-ary SplayNet";
   }
   const KArySplayNet& net() const { return net_; }
@@ -67,13 +76,13 @@ class KArySplayNetwork final : public Network {
   KArySplayNet net_;
 };
 
-class CentroidSplayNetwork final : public Network {
+class CentroidSplayNetwork {
  public:
   explicit CentroidSplayNetwork(CentroidSplayNet net) : net_(std::move(net)) {}
 
-  ServeResult serve(NodeId u, NodeId v) override { return net_.serve(u, v); }
-  int size() const override { return net_.size(); }
-  std::string name() const override {
+  ServeResult serve(NodeId u, NodeId v) { return net_.serve(u, v); }
+  int size() const { return net_.size(); }
+  std::string name() const {
     return std::to_string(net_.arity() + 1) + "-SplayNet";
   }
   const CentroidSplayNet& net() const { return net_; }
@@ -82,13 +91,13 @@ class CentroidSplayNetwork final : public Network {
   CentroidSplayNet net_;
 };
 
-class BinarySplayNetwork final : public Network {
+class BinarySplayNetwork {
  public:
   explicit BinarySplayNetwork(int n) : net_(n) {}
 
-  ServeResult serve(NodeId u, NodeId v) override { return net_.serve(u, v); }
-  int size() const override { return net_.size(); }
-  std::string name() const override { return "SplayNet"; }
+  ServeResult serve(NodeId u, NodeId v) { return net_.serve(u, v); }
+  int size() const { return net_.size(); }
+  std::string name() const { return "SplayNet"; }
   const BinarySplayNet& net() const { return net_; }
 
  private:

@@ -1,0 +1,62 @@
+#include "sim/sharded_network.hpp"
+
+#include "static_trees/full_tree.hpp"
+
+namespace san {
+
+ShardedNetwork::ShardedNetwork(int k, ShardMap map, RotationPolicy policy,
+                               SplayMode mode)
+    : k_(k), map_(std::move(map)) {
+  const int S = map_.shards();
+  shards_.reserve(static_cast<std::size_t>(S));
+  for (int s = 0; s < S; ++s)
+    shards_.push_back(
+        KArySplayNet::balanced(k, map_.shard_size(s), policy, mode));
+
+  // The top-level tree is a demand-oblivious complete k-ary tree over the
+  // S root slots (slot s = node s+1); it is consulted only through this
+  // precomputed distance table, so S = 1 simply leaves it all-zero.
+  top_dist_.assign(static_cast<std::size_t>(S) * static_cast<std::size_t>(S),
+                   0);
+  if (S > 1) {
+    const KAryTree top = full_kary_tree(k, S);
+    for (int a = 0; a < S; ++a)
+      for (int b = 0; b < S; ++b)
+        if (a != b)
+          top_dist_[static_cast<std::size_t>(a) * static_cast<std::size_t>(S) +
+                    static_cast<std::size_t>(b)] =
+              top.distance(static_cast<NodeId>(a + 1),
+                           static_cast<NodeId>(b + 1));
+  }
+}
+
+ShardedNetwork ShardedNetwork::balanced(int k, int n, int shards,
+                                        ShardPartition partition,
+                                        RotationPolicy policy,
+                                        SplayMode mode) {
+  return ShardedNetwork(k, ShardMap(n, shards, partition), policy, mode);
+}
+
+ServeResult ShardedNetwork::serve(NodeId u, NodeId v) {
+  const int a = map_.shard_of(u);
+  const int b = map_.shard_of(v);
+  if (a == b) return shard(a).serve(map_.local_of(u), map_.local_of(v));
+
+  ++cross_served_;
+  const ServeResult up = shard(a).access(map_.local_of(u));
+  const ServeResult down = shard(b).access(map_.local_of(v));
+  ServeResult res;
+  res.routing_cost = up.routing_cost + top_distance(a, b) + down.routing_cost;
+  res.rotations = up.rotations + down.rotations;
+  res.parent_changes = up.parent_changes + down.parent_changes;
+  res.edge_changes = up.edge_changes + down.edge_changes;
+  return res;
+}
+
+std::string ShardedNetwork::name() const {
+  return "sharded[" + std::to_string(num_shards()) + "," +
+         shard_partition_name(map_.policy()) + "] " + std::to_string(k_) +
+         "-ary SplayNet";
+}
+
+}  // namespace san

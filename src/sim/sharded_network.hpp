@@ -1,0 +1,84 @@
+// ShardedNetwork: S independent k-ary SplayNet shards under a static
+// top-level tree — the partitioned serving engine that lets one heavy
+// trace use all cores.
+//
+// The node space 1..n is split by a ShardMap (workload/partition.hpp) into
+// S shards; each shard runs its own KArySplayNet over dense local ids, so
+// intra-shard requests keep the exact Section 2 cost accounting of the
+// unsharded network. Cross-shard traffic is costed through a static
+// top-level tree whose S positions stand for the shard root slots:
+//
+//   cost(u in a, v in b, a != b) =
+//       depth_a(u)            // ascend to shard a's root, splaying u up
+//     + d_top(a, b)           // static route between the two root slots
+//     + depth_b(v)            // descend into shard b; v splays to its root
+//
+// Both endpoint shards self-adjust (root ascent = KArySplayNet::access);
+// the top-level tree never does, so cross-shard requests pay routing but
+// no top-level adjustment — see README "cost-model caveat". With S = 1
+// the engine degenerates to exactly KArySplayNetwork: same balanced
+// initial tree, same serve path, bit-identical SimResults.
+//
+// Shards share no mutable state, so a trace can be drained one shard per
+// worker (sim/simulator.hpp: run_trace_sharded) with costs bit-identical
+// to the sequential order.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/splaynet.hpp"
+#include "workload/partition.hpp"
+
+namespace san {
+
+class ShardedNetwork {
+ public:
+  /// Builds balanced per-shard trees of arity `k` over `map`'s shards.
+  ShardedNetwork(int k, ShardMap map, RotationPolicy policy = {},
+                 SplayMode mode = SplayMode::kFullSplay);
+
+  /// Convenience: balanced shards over a fresh ShardMap(n, shards, policy).
+  static ShardedNetwork balanced(
+      int k, int n, int shards,
+      ShardPartition partition = ShardPartition::kContiguous,
+      RotationPolicy policy = {}, SplayMode mode = SplayMode::kFullSplay);
+
+  /// Serves one request in global ids; self-adjusts the touched shard(s).
+  ServeResult serve(NodeId u, NodeId v);
+
+  int size() const { return map_.n(); }
+  int arity() const { return k_; }
+  int num_shards() const { return map_.shards(); }
+  std::string name() const;
+
+  const ShardMap& map() const { return map_; }
+  /// Mutable shard access for the batched pipeline; shard s serves local
+  /// ids 1..map().shard_size(s).
+  KArySplayNet& shard(int s) { return shards_[static_cast<std::size_t>(s)]; }
+  const KArySplayNet& shard(int s) const {
+    return shards_[static_cast<std::size_t>(s)];
+  }
+
+  /// Static top-level distance between the root slots of shards a and b
+  /// (0 when a == b). Precomputed at construction.
+  Cost top_distance(int a, int b) const {
+    return top_dist_[static_cast<std::size_t>(a) *
+                         static_cast<std::size_t>(map_.shards()) +
+                     static_cast<std::size_t>(b)];
+  }
+
+  /// Cross-shard requests served so far (serve() and run_trace_sharded both
+  /// maintain it); run_trace snapshots the delta into SimResult::cross_shard.
+  Cost cross_shard_served() const { return cross_served_; }
+  void note_cross_served(Cost requests) { cross_served_ += requests; }
+
+ private:
+  int k_;
+  ShardMap map_;
+  std::vector<KArySplayNet> shards_;
+  std::vector<Cost> top_dist_;  ///< S x S static route lengths, row-major
+  Cost cross_served_ = 0;
+};
+
+}  // namespace san

@@ -1,17 +1,32 @@
 #include "sim/simulator.hpp"
 
-namespace san {
+#include <vector>
 
-SimResult run_trace(Network& net, const Trace& trace) {
+#include "core/parallel.hpp"
+
+namespace san {
+namespace {
+
+/// Serves one shard's op queue in order. Ops are local-id pairs; an ascent
+/// op (cross-shard half-request) splays its node to the shard root and is
+/// charged the pre-adjustment depth — exactly what ShardedNetwork::serve
+/// does inline, so pipeline and per-request paths cannot diverge.
+SimResult drain_shard(KArySplayNet& shard, const std::vector<ShardOp>& ops) {
   SimResult res;
-  for (const Request& r : trace.requests) {
-    const ServeResult s = net.serve(r.src, r.dst);
+  for (const ShardOp& op : ops) {
+    const ServeResult s =
+        op.is_ascent() ? shard.access(op.src) : shard.serve(op.src, op.dst);
     res.routing_cost += s.routing_cost;
     res.rotation_count += s.rotations;
     res.edge_changes += s.edge_changes;
-    ++res.requests;
   }
   return res;
+}
+
+}  // namespace
+
+SimResult run_trace(AnyNetwork& net, const Trace& trace) {
+  return net.visit([&](auto& n) { return run_trace(n, trace); });
 }
 
 SimResult run_trace_static(const KAryTree& tree, const Trace& trace) {
@@ -20,6 +35,50 @@ SimResult run_trace_static(const KAryTree& tree, const Trace& trace) {
     res.routing_cost += serve_on_static_tree(tree, r.src, r.dst).routing_cost;
     ++res.requests;
   }
+  return res;
+}
+
+SimResult run_trace_sharded(ShardedNetwork& net, const Trace& trace,
+                            const ShardedRunOptions& opt) {
+  const PartitionedTrace pt = partition_trace(trace, net.map());
+  const int S = net.num_shards();
+
+  // One result slot and one queue per shard: workers share nothing, so the
+  // drain is deterministic regardless of scheduling.
+  std::vector<SimResult> partial(static_cast<std::size_t>(S));
+  if (opt.sequential) {
+    for (int s = 0; s < S; ++s)
+      partial[static_cast<std::size_t>(s)] =
+          drain_shard(net.shard(s), pt.ops[static_cast<std::size_t>(s)]);
+  } else {
+    parallel_for(0, S, opt.threads, [&](long s) {
+      partial[static_cast<std::size_t>(s)] = drain_shard(
+          net.shard(static_cast<int>(s)), pt.ops[static_cast<std::size_t>(s)]);
+    });
+  }
+
+  // Combine in shard index order (fixed, mode-independent): per-shard sums
+  // plus the static top-level legs of every cross-shard request.
+  SimResult res;
+  for (int s = 0; s < S; ++s) {
+    const SimResult& p = partial[static_cast<std::size_t>(s)];
+    res.routing_cost += p.routing_cost;
+    res.rotation_count += p.rotation_count;
+    res.edge_changes += p.edge_changes;
+  }
+  for (int a = 0; a < S; ++a)
+    for (int b = 0; b < S; ++b) {
+      const std::size_t pairs =
+          pt.cross_pairs[static_cast<std::size_t>(a) *
+                             static_cast<std::size_t>(S) +
+                         static_cast<std::size_t>(b)];
+      if (pairs != 0)
+        res.routing_cost +=
+            static_cast<Cost>(pairs) * net.top_distance(a, b);
+    }
+  res.requests = pt.total_requests;
+  res.cross_shard = static_cast<Cost>(pt.cross_requests);
+  net.note_cross_served(static_cast<Cost>(pt.cross_requests));
   return res;
 }
 

@@ -1,11 +1,20 @@
-// Trace simulator: replays a communication sequence over a Network and
+// Trace simulator: replays a communication sequence over a network and
 // accounts costs per the Section 2 model with the Section 5 experimental
 // conventions (routing hop = 1, rotation = 1).
+//
+// run_trace is a template over the concrete network type, so the serve
+// loop is monomorphic (no per-request indirect call); the AnyNetwork
+// overload hoists the variant dispatch out of the loop with a single
+// visit. run_trace_sharded is the batched pipeline for ShardedNetwork:
+// it splits the trace into per-shard queues and drains the shards
+// concurrently on the Executor, with a sequential mode that is
+// bit-identical by construction (shards share no state, and per-shard op
+// order alone determines cost).
 #pragma once
 
 #include <cstdint>
 
-#include "sim/network.hpp"
+#include "sim/any_network.hpp"
 #include "workload/request.hpp"
 
 namespace san {
@@ -14,6 +23,8 @@ struct SimResult {
   Cost routing_cost = 0;    ///< sum of pre-adjustment path lengths
   Cost rotation_count = 0;  ///< k-splay / k-semi-splay / splay steps
   Cost edge_changes = 0;    ///< links added + removed (Section 2 adjustment)
+  Cost cross_shard = 0;     ///< requests routed over the top-level tree
+                            ///< (always 0 for unsharded networks)
   std::size_t requests = 0;
 
   /// Experimental-section total: unit routing + unit rotation cost.
@@ -34,11 +45,48 @@ struct SimResult {
   }
 };
 
-/// Replays `trace` over `net`, mutating it.
-SimResult run_trace(Network& net, const Trace& trace);
+/// Replays `trace` over `net`, mutating it. Monomorphic per network type:
+/// works on any object with a `ServeResult serve(NodeId, NodeId)` member
+/// (all concrete networks, ShardedNetwork, and the virtual Network escape
+/// hatch alike).
+template <typename Net>
+SimResult run_trace(Net& net, const Trace& trace) {
+  SimResult res;
+  Cost cross_before = 0;
+  if constexpr (requires { net.cross_shard_served(); })
+    cross_before = net.cross_shard_served();
+  for (const Request& r : trace.requests) {
+    const ServeResult s = net.serve(r.src, r.dst);
+    res.routing_cost += s.routing_cost;
+    res.rotation_count += s.rotations;
+    res.edge_changes += s.edge_changes;
+    ++res.requests;
+  }
+  if constexpr (requires { net.cross_shard_served(); })
+    res.cross_shard = net.cross_shard_served() - cross_before;
+  return res;
+}
 
-/// Static-tree shortcut (no virtual dispatch; used by benches to cost a
-/// fixed topology against a long trace).
+/// Single visit, then the monomorphic loop above on the held alternative.
+SimResult run_trace(AnyNetwork& net, const Trace& trace);
+
+/// Static-tree shortcut (used by benches to cost a fixed topology against
+/// a long trace).
 SimResult run_trace_static(const KAryTree& tree, const Trace& trace);
+
+/// How run_trace_sharded drains the per-shard queues.
+struct ShardedRunOptions {
+  int threads = 0;          ///< Executor width for the concurrent drain (0 = auto)
+  bool sequential = false;  ///< drain shards in index order on the caller —
+                            ///< the bit-identical determinism reference
+};
+
+/// Batched sharded pipeline: partitions `trace` into per-shard op queues
+/// (arrival order preserved) and drains every shard independently —
+/// concurrently on the Executor unless `opt.sequential`. Costs are
+/// bit-identical across modes and thread counts, and identical to serving
+/// the same trace request-by-request through net.serve().
+SimResult run_trace_sharded(ShardedNetwork& net, const Trace& trace,
+                            const ShardedRunOptions& opt = {});
 
 }  // namespace san

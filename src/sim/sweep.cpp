@@ -16,8 +16,8 @@ std::vector<SimResult> run_sweep(const std::vector<SweepCase>& cases,
   std::vector<SimResult> results(cases.size());
   parallel_for(0, static_cast<long>(cases.size()), threads, [&](long i) {
     const SweepCase& c = cases[static_cast<size_t>(i)];
-    std::unique_ptr<Network> net = c.make_network();
-    results[static_cast<size_t>(i)] = run_trace(*net, *c.trace);
+    AnyNetwork net = c.make_network();
+    results[static_cast<size_t>(i)] = run_trace(net, *c.trace);
   });
   return results;
 }

@@ -5,19 +5,19 @@
 #pragma once
 
 #include <functional>
-#include <memory>
 #include <vector>
 
-#include "core/parallel.hpp"
-#include "sim/network.hpp"
+#include "sim/any_network.hpp"
 #include "sim/simulator.hpp"
 
 namespace san {
 
 struct SweepCase {
   /// Builds a fresh network instance; invoked on a worker thread, so the
-  /// factory must not share mutable state with other cases.
-  std::function<std::unique_ptr<Network>()> make_network;
+  /// factory must not share mutable state with other cases. Returns the
+  /// variant directly for the in-tree topologies (served devirtualized);
+  /// out-of-variant topologies ride the unique_ptr<Network> escape hatch.
+  std::function<AnyNetwork()> make_network;
   /// Trace to replay; referenced, not copied — must outlive the sweep.
   const Trace* trace = nullptr;
 };

@@ -1,0 +1,143 @@
+#include "workload/partition.hpp"
+
+#include <algorithm>
+#include <string>
+
+namespace san {
+namespace {
+
+/// splitmix64: tiny, well-mixed, and stable across platforms — the shard
+/// assignment is part of the reproducible experiment setup, so it must not
+/// depend on std::hash.
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+const char* shard_partition_name(ShardPartition policy) {
+  switch (policy) {
+    case ShardPartition::kContiguous:
+      return "contiguous";
+    case ShardPartition::kHash:
+      return "hash";
+  }
+  return "?";
+}
+
+ShardMap::ShardMap(int n, int shards, ShardPartition policy)
+    : n_(n), shards_(shards), policy_(policy) {
+  if (n < 1) throw TreeError("ShardMap: need at least one node");
+  if (shards < 1 || shards > n)
+    throw TreeError("ShardMap: shard count must be in [1, n], got " +
+                    std::to_string(shards) + " for n=" + std::to_string(n));
+
+  shard_of_.assign(static_cast<std::size_t>(n) + 1, 0);
+  local_of_.assign(static_cast<std::size_t>(n) + 1, kNoNode);
+  globals_.assign(static_cast<std::size_t>(shards), {});
+
+  for (NodeId id = 1; id <= n; ++id) {
+    int s = 0;
+    if (policy == ShardPartition::kContiguous) {
+      // First (n % S) shards get ceil(n/S) ids, the rest floor(n/S).
+      const int base = n / shards;
+      const int big = n % shards;
+      const int cut = big * (base + 1);
+      s = (id - 1) < cut ? (id - 1) / (base + 1)
+                         : big + ((id - 1) - cut) / base;
+    } else {
+      s = static_cast<int>(mix64(static_cast<std::uint64_t>(id)) %
+                           static_cast<std::uint64_t>(shards));
+    }
+    shard_of_[static_cast<std::size_t>(id)] = s;
+    // Ascending-id construction order makes local ids rank-ordered.
+    globals_[static_cast<std::size_t>(s)].push_back(id);
+    local_of_[static_cast<std::size_t>(id)] =
+        static_cast<NodeId>(globals_[static_cast<std::size_t>(s)].size());
+  }
+
+  for (int s = 0; s < shards; ++s)
+    if (globals_[static_cast<std::size_t>(s)].empty())
+      throw TreeError("ShardMap: " + std::string(shard_partition_name(policy)) +
+                      " partition left shard " + std::to_string(s) +
+                      " empty; use fewer shards");
+}
+
+PartitionedTrace partition_trace(const Trace& trace, const ShardMap& map) {
+  const int S = map.shards();
+  PartitionedTrace pt;
+  pt.ops.assign(static_cast<std::size_t>(S), {});
+  pt.cross_pairs.assign(static_cast<std::size_t>(S) * static_cast<std::size_t>(S),
+                        0);
+  pt.total_requests = trace.size();
+
+  // Size the queues in one counting pass so the fill pass never reallocates.
+  std::vector<std::size_t> sizes(static_cast<std::size_t>(S), 0);
+  for (const Request& r : trace.requests) {
+    const int a = map.shard_of(r.src);
+    const int b = map.shard_of(r.dst);
+    ++sizes[static_cast<std::size_t>(a)];
+    if (a != b) ++sizes[static_cast<std::size_t>(b)];
+  }
+  for (int s = 0; s < S; ++s)
+    pt.ops[static_cast<std::size_t>(s)].reserve(sizes[static_cast<std::size_t>(s)]);
+
+  for (const Request& r : trace.requests) {
+    const int a = map.shard_of(r.src);
+    const int b = map.shard_of(r.dst);
+    if (a == b) {
+      pt.ops[static_cast<std::size_t>(a)].push_back(
+          {map.local_of(r.src), map.local_of(r.dst)});
+    } else {
+      pt.ops[static_cast<std::size_t>(a)].push_back(
+          {map.local_of(r.src), kNoNode});
+      pt.ops[static_cast<std::size_t>(b)].push_back(
+          {map.local_of(r.dst), kNoNode});
+      ++pt.cross_pairs[static_cast<std::size_t>(a) *
+                           static_cast<std::size_t>(S) +
+                       static_cast<std::size_t>(b)];
+      ++pt.cross_requests;
+    }
+  }
+  return pt;
+}
+
+double ShardLocalityStats::load_imbalance() const {
+  if (touches.empty()) return 1.0;
+  std::size_t max = 0, sum = 0;
+  for (std::size_t t : touches) {
+    max = std::max(max, t);
+    sum += t;
+  }
+  if (sum == 0) return 1.0;
+  const double mean =
+      static_cast<double>(sum) / static_cast<double>(touches.size());
+  return static_cast<double>(max) / mean;
+}
+
+ShardLocalityStats compute_shard_stats(const Trace& trace,
+                                       const ShardMap& map) {
+  const int S = map.shards();
+  ShardLocalityStats st;
+  st.shards = S;
+  st.intra.assign(static_cast<std::size_t>(S), 0);
+  st.touches.assign(static_cast<std::size_t>(S), 0);
+  st.total_requests = trace.size();
+  for (const Request& r : trace.requests) {
+    const int a = map.shard_of(r.src);
+    const int b = map.shard_of(r.dst);
+    ++st.touches[static_cast<std::size_t>(a)];
+    if (a == b) {
+      ++st.intra[static_cast<std::size_t>(a)];
+    } else {
+      ++st.touches[static_cast<std::size_t>(b)];
+      ++st.cross_requests;
+    }
+  }
+  return st;
+}
+
+}  // namespace san

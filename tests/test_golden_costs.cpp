@@ -45,48 +45,46 @@ const std::vector<WorkloadKind> kKinds = {
 
 struct NetworkSpec {
   const char* name;
-  std::unique_ptr<Network> (*make)(const Trace& trace);
+  AnyNetwork (*make)(const Trace& trace);
 };
 
 const NetworkSpec kNetworks[] = {
     {"splay-k2",
-     [](const Trace&) -> std::unique_ptr<Network> {
-       return std::make_unique<KArySplayNetwork>(KArySplayNet::balanced(2, kN));
+     [](const Trace&) -> AnyNetwork {
+       return KArySplayNetwork(KArySplayNet::balanced(2, kN));
      }},
     {"splay-k3",
-     [](const Trace&) -> std::unique_ptr<Network> {
-       return std::make_unique<KArySplayNetwork>(KArySplayNet::balanced(3, kN));
+     [](const Trace&) -> AnyNetwork {
+       return KArySplayNetwork(KArySplayNet::balanced(3, kN));
      }},
     {"splay-k5",
-     [](const Trace&) -> std::unique_ptr<Network> {
-       return std::make_unique<KArySplayNetwork>(KArySplayNet::balanced(5, kN));
+     [](const Trace&) -> AnyNetwork {
+       return KArySplayNetwork(KArySplayNet::balanced(5, kN));
      }},
     {"semi-splay-k3",
-     [](const Trace&) -> std::unique_ptr<Network> {
-       return std::make_unique<KArySplayNetwork>(KArySplayNet::balanced(
+     [](const Trace&) -> AnyNetwork {
+       return KArySplayNetwork(KArySplayNet::balanced(
            3, kN, RotationPolicy{}, SplayMode::kSemiSplayOnly));
      }},
     {"centroid-k3",
-     [](const Trace&) -> std::unique_ptr<Network> {
-       return std::make_unique<CentroidSplayNetwork>(CentroidSplayNet(3, kN));
+     [](const Trace&) -> AnyNetwork {
+       return CentroidSplayNetwork(CentroidSplayNet(3, kN));
      }},
     {"binary",
-     [](const Trace&) -> std::unique_ptr<Network> {
-       return std::make_unique<BinarySplayNetwork>(kN);
+     [](const Trace&) -> AnyNetwork {
+       return BinarySplayNetwork(kN);
      }},
     {"static-full-k3",
-     [](const Trace&) -> std::unique_ptr<Network> {
-       return std::make_unique<StaticTreeNetwork>(full_kary_tree(3, kN),
-                                                  "full-k3");
+     [](const Trace&) -> AnyNetwork {
+       return StaticTreeNetwork(full_kary_tree(3, kN), "full-k3");
      }},
     {"static-centroid-k3",
-     [](const Trace&) -> std::unique_ptr<Network> {
-       return std::make_unique<StaticTreeNetwork>(centroid_kary_tree(3, kN),
-                                                  "centroid-k3");
+     [](const Trace&) -> AnyNetwork {
+       return StaticTreeNetwork(centroid_kary_tree(3, kN), "centroid-k3");
      }},
     {"static-optimal-k3",
-     [](const Trace& trace) -> std::unique_ptr<Network> {
-       return std::make_unique<StaticTreeNetwork>(
+     [](const Trace& trace) -> AnyNetwork {
+       return StaticTreeNetwork(
            optimal_routing_based_tree(3, DemandMatrix::from_trace(trace), 1)
                .tree,
            "optimal-k3");
@@ -193,8 +191,8 @@ TEST(GoldenCosts, EveryNetworkOnEveryWorkload) {
     const Trace trace = gen_workload(kind, kN, kM, kSeed);
     ASSERT_EQ(trace.n, kN);
     for (const NetworkSpec& spec : kNetworks) {
-      std::unique_ptr<Network> net = spec.make(trace);
-      const SimResult res = run_trace(*net, trace);
+      AnyNetwork net = spec.make(trace);
+      const SimResult res = run_trace(net, trace);
       measured.push_back(
           {workload_name(kind), spec.name, res.total_cost(), res.edge_changes});
     }

@@ -46,6 +46,33 @@ TEST(TraceIo, RejectsMalformedInput) {
   reject("san-trace v1 5 1\nfoo bar\n");      // garbage
 }
 
+TEST(TraceIo, RejectsHostileHeaderCounts) {
+  auto reject = [](const std::string& text) {
+    std::stringstream buf(text);
+    EXPECT_THROW(read_trace(buf), TreeError) << text;
+  };
+  // Negative counts must not wrap into huge unsigned values.
+  reject("san-trace v1 -4 1\n1 2\n");
+  reject("san-trace v1 5 -1\n1 2\n");
+  // n beyond the NodeId range would overflow every downstream id array.
+  reject("san-trace v1 4294967296 1\n1 2\n");
+  // A header claiming far more requests than the body holds must fail on
+  // the truncation check, not OOM on reserve().
+  reject("san-trace v1 5 123456789012\n1 2\n");
+}
+
+TEST(TraceIo, HugeReserveHintDoesNotPreallocate) {
+  // The reserve cap: parsing starts (and fails on truncation) without
+  // first attempting an m-sized allocation.
+  std::stringstream buf("san-trace v1 5 99999999999999\n1 2\n3 4\n");
+  try {
+    read_trace(buf);
+    FAIL() << "expected TreeError";
+  } catch (const TreeError& e) {
+    EXPECT_NE(std::string(e.what()).find("truncated"), std::string::npos);
+  }
+}
+
 TEST(TraceIo, FileRoundTrip) {
   Trace t = gen_uniform(16, 100, 1);
   const std::string path = ::testing::TempDir() + "/trace_roundtrip.txt";

@@ -1,0 +1,171 @@
+// Workload partition layer: ShardMap policies, trace projection onto
+// per-shard queues, and the locality statistics.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <random>
+#include <set>
+
+#include "workload/generators.hpp"
+#include "workload/partition.hpp"
+
+namespace san {
+namespace {
+
+TEST(ShardMap, ContiguousCoversAllNodesEvenly) {
+  for (int n : {7, 16, 100, 1001}) {
+    for (int S : {1, 2, 3, 8}) {
+      if (S > n) continue;
+      ShardMap map(n, S, ShardPartition::kContiguous);
+      int total = 0, lo = n, hi = 0;
+      for (int s = 0; s < S; ++s) {
+        total += map.shard_size(s);
+        lo = std::min(lo, map.shard_size(s));
+        hi = std::max(hi, map.shard_size(s));
+      }
+      EXPECT_EQ(total, n);
+      EXPECT_LE(hi - lo, 1) << "n=" << n << " S=" << S;
+      // Contiguity: shard index is monotone in the id.
+      for (NodeId id = 2; id <= n; ++id)
+        EXPECT_GE(map.shard_of(id), map.shard_of(id - 1));
+    }
+  }
+}
+
+TEST(ShardMap, LocalIdsAreDenseAndOrderPreserving) {
+  for (ShardPartition policy :
+       {ShardPartition::kContiguous, ShardPartition::kHash}) {
+    ShardMap map(200, 8, policy);
+    for (int s = 0; s < 8; ++s) {
+      NodeId prev_global = 0;
+      for (NodeId local = 1; local <= map.shard_size(s); ++local) {
+        const NodeId global = map.global_of(s, local);
+        EXPECT_GT(global, prev_global);  // ascending global order
+        prev_global = global;
+        EXPECT_EQ(map.shard_of(global), s);
+        EXPECT_EQ(map.local_of(global), local);  // exact inverse
+      }
+    }
+  }
+}
+
+TEST(ShardMap, HashCoversAllNodes) {
+  const int n = 500, S = 8;
+  ShardMap map(n, S, ShardPartition::kHash);
+  std::set<NodeId> seen;
+  int total = 0;
+  for (int s = 0; s < S; ++s) {
+    total += map.shard_size(s);
+    for (NodeId local = 1; local <= map.shard_size(s); ++local)
+      seen.insert(map.global_of(s, local));
+  }
+  EXPECT_EQ(total, n);
+  EXPECT_EQ(seen.size(), static_cast<std::size_t>(n));
+  EXPECT_EQ(*seen.begin(), 1);
+  EXPECT_EQ(*seen.rbegin(), n);
+}
+
+TEST(ShardMap, RejectsInvalidConfigurations) {
+  EXPECT_THROW(ShardMap(10, 0), TreeError);
+  EXPECT_THROW(ShardMap(10, 11), TreeError);
+  EXPECT_THROW(ShardMap(0, 1), TreeError);
+  ShardMap map(10, 2);
+  EXPECT_THROW(map.shard_of(0), TreeError);
+  EXPECT_THROW(map.shard_of(11), TreeError);
+}
+
+TEST(ShardMap, SingleShardIsIdentity) {
+  ShardMap map(64, 1);
+  for (NodeId id = 1; id <= 64; ++id) {
+    EXPECT_EQ(map.shard_of(id), 0);
+    EXPECT_EQ(map.local_of(id), id);  // S=1 must preserve global ids
+  }
+}
+
+TEST(PartitionTrace, ProjectsRequestsInArrivalOrder) {
+  // Hand-built trace on n=6, S=2 contiguous: shard 0 = {1,2,3} -> local
+  // 1..3, shard 1 = {4,5,6} -> local 1..3.
+  Trace t;
+  t.n = 6;
+  t.requests = {{1, 3}, {1, 5}, {4, 6}, {2, 1}, {6, 2}};
+  ShardMap map(6, 2, ShardPartition::kContiguous);
+  PartitionedTrace pt = partition_trace(t, map);
+
+  ASSERT_EQ(pt.ops.size(), 2u);
+  // Shard 0: intra (1,3), ascent of 1 (from cross 1->5), intra (2,1),
+  // ascent of 2 (from cross 6->2).
+  const std::vector<ShardOp> expect0 = {
+      {1, 3}, {1, kNoNode}, {2, 1}, {2, kNoNode}};
+  // Shard 1: ascent of local(5)=2, intra (local 1, local 3), ascent of
+  // local(6)=3.
+  const std::vector<ShardOp> expect1 = {{2, kNoNode}, {1, 3}, {3, kNoNode}};
+  EXPECT_EQ(pt.ops[0], expect0);
+  EXPECT_EQ(pt.ops[1], expect1);
+  EXPECT_EQ(pt.cross_requests, 2u);
+  EXPECT_EQ(pt.total_requests, 5u);
+  EXPECT_EQ(pt.cross_pairs[0 * 2 + 1], 1u);  // 1 -> 5
+  EXPECT_EQ(pt.cross_pairs[1 * 2 + 0], 1u);  // 6 -> 2
+  EXPECT_EQ(pt.cross_pairs[0 * 2 + 0], 0u);
+}
+
+TEST(PartitionTrace, OpCountsAddUp) {
+  Trace t = gen_workload(WorkloadKind::kFacebook, 128, 4000, 99);
+  ShardMap map(128, 8, ShardPartition::kHash);
+  PartitionedTrace pt = partition_trace(t, map);
+  std::size_t ops = 0;
+  for (const auto& q : pt.ops) ops += q.size();
+  // Every intra request is one op, every cross request two.
+  EXPECT_EQ(ops, t.size() + pt.cross_requests);
+  std::size_t pairs = std::accumulate(pt.cross_pairs.begin(),
+                                      pt.cross_pairs.end(), std::size_t{0});
+  EXPECT_EQ(pairs, pt.cross_requests);
+}
+
+TEST(ShardStats, LocalityAndImbalance) {
+  Trace t;
+  t.n = 8;
+  // 3 intra requests on shard 0, 1 cross: shard 0 carries nearly all load.
+  t.requests = {{1, 2}, {2, 3}, {3, 1}, {1, 8}};
+  ShardMap map(8, 2, ShardPartition::kContiguous);
+  ShardLocalityStats st = compute_shard_stats(t, map);
+  EXPECT_EQ(st.shards, 2);
+  EXPECT_EQ(st.intra[0], 3u);
+  EXPECT_EQ(st.intra[1], 0u);
+  EXPECT_EQ(st.cross_requests, 1u);
+  EXPECT_DOUBLE_EQ(st.intra_fraction(), 0.75);
+  EXPECT_EQ(st.touches[0], 4u);
+  EXPECT_EQ(st.touches[1], 1u);
+  EXPECT_DOUBLE_EQ(st.load_imbalance(), 4.0 / 2.5);
+
+  // Empty trace degenerates cleanly.
+  Trace empty;
+  empty.n = 8;
+  ShardLocalityStats est = compute_shard_stats(empty, map);
+  EXPECT_EQ(est.intra_fraction(), 0.0);
+  EXPECT_EQ(est.load_imbalance(), 1.0);
+}
+
+TEST(ShardStats, HashBalancesSkewedRanges) {
+  // Traffic concentrated on a contiguous id range: the contiguous policy
+  // piles it onto one shard, hashing spreads it.
+  Trace t;
+  t.n = 256;
+  std::mt19937_64 rng(5);
+  for (int i = 0; i < 4000; ++i) {
+    NodeId u = static_cast<NodeId>(1 + rng() % 32);
+    NodeId v = static_cast<NodeId>(1 + rng() % 32);
+    if (u == v) v = (v % 32) + 1;
+    t.requests.push_back({u, v});
+  }
+  ShardMap contiguous(256, 8, ShardPartition::kContiguous);
+  ShardMap hashed(256, 8, ShardPartition::kHash);
+  const double imb_contig =
+      compute_shard_stats(t, contiguous).load_imbalance();
+  const double imb_hash = compute_shard_stats(t, hashed).load_imbalance();
+  EXPECT_GT(imb_contig, 4.0);  // all 32 hot ids live in shard 0
+  EXPECT_LT(imb_hash, imb_contig);
+}
+
+}  // namespace
+}  // namespace san

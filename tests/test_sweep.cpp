@@ -1,6 +1,9 @@
 // Parallel sweep runner: positional results, determinism vs the serial
-// path, error propagation.
+// path, error propagation, and the virtual escape hatch at the factory
+// boundary.
 #include <gtest/gtest.h>
+
+#include <memory>
 
 #include "sim/sweep.hpp"
 #include "static_trees/full_tree.hpp"
@@ -13,8 +16,8 @@ TEST(Sweep, MatchesSerialExecution) {
   Trace trace = gen_temporal(60, 5000, 0.5, 4);
   std::vector<SweepCase> cases;
   for (int k = 2; k <= 6; ++k) {
-    cases.push_back({[k, &trace] {
-                       return std::make_unique<KArySplayNetwork>(
+    cases.push_back({[k, &trace]() -> AnyNetwork {
+                       return KArySplayNetwork(
                            KArySplayNet::balanced(k, trace.n));
                      },
                      &trace});
@@ -33,16 +36,18 @@ TEST(Sweep, MatchesSerialExecution) {
 TEST(Sweep, MixedTopologies) {
   Trace trace = gen_uniform(50, 2000, 9);
   std::vector<SweepCase> cases = {
-      {[&trace] {
-         return std::make_unique<StaticTreeNetwork>(
-             full_kary_tree(3, trace.n), "full");
+      {[&trace]() -> AnyNetwork {
+         return StaticTreeNetwork(full_kary_tree(3, trace.n), "full");
        },
        &trace},
-      {[&trace] { return std::make_unique<BinarySplayNetwork>(trace.n); },
+      {[&trace]() -> AnyNetwork { return BinarySplayNetwork(trace.n); },
        &trace},
-      {[&trace] {
-         return std::make_unique<CentroidSplayNetwork>(
-             CentroidSplayNet(2, trace.n));
+      {[&trace]() -> AnyNetwork {
+         return CentroidSplayNetwork(CentroidSplayNet(2, trace.n));
+       },
+       &trace},
+      {[&trace]() -> AnyNetwork {
+         return ShardedNetwork::balanced(2, trace.n, 4);
        },
        &trace},
   };
@@ -50,6 +55,34 @@ TEST(Sweep, MixedTopologies) {
   EXPECT_EQ(results[0].rotation_count, 0);  // static never rotates
   EXPECT_GT(results[1].rotation_count, 0);
   EXPECT_GT(results[2].rotation_count, 0);
+  EXPECT_GT(results[3].rotation_count, 0);
+  EXPECT_GT(results[3].cross_shard, 0);  // uniform traffic crosses shards
+  for (int i = 0; i < 3; ++i) EXPECT_EQ(results[i].cross_shard, 0) << i;
+}
+
+// The variant's unique_ptr<Network> alternative: a topology the closed set
+// does not know still sweeps through the thin virtual adapter.
+TEST(Sweep, VirtualEscapeHatch) {
+  class ConstantNetwork final : public Network {
+   public:
+    ServeResult serve(NodeId, NodeId) override {
+      ServeResult r;
+      r.routing_cost = 7;
+      return r;
+    }
+    int size() const override { return 10; }
+    std::string name() const override { return "constant"; }
+  };
+  Trace trace = gen_uniform(10, 100, 1);
+  std::vector<SweepCase> cases = {
+      {[]() -> AnyNetwork { return std::make_unique<ConstantNetwork>(); },
+       &trace}};
+  auto results = run_sweep(cases, 1);
+  EXPECT_EQ(results[0].routing_cost, 700);
+  EXPECT_EQ(results[0].rotation_count, 0);
+  EXPECT_THROW(
+      AnyNetwork(std::unique_ptr<Network>()),  // null adapter rejected
+      TreeError);
 }
 
 TEST(Sweep, RejectsIncompleteCases) {
@@ -57,8 +90,8 @@ TEST(Sweep, RejectsIncompleteCases) {
   std::vector<SweepCase> cases(1);
   cases[0].trace = &trace;  // no factory
   EXPECT_THROW(run_sweep(cases), TreeError);
-  cases[0].make_network = [&trace] {
-    return std::make_unique<BinarySplayNetwork>(trace.n);
+  cases[0].make_network = [&trace]() -> AnyNetwork {
+    return BinarySplayNetwork(trace.n);
   };
   cases[0].trace = nullptr;
   EXPECT_THROW(run_sweep(cases), TreeError);
@@ -67,10 +100,7 @@ TEST(Sweep, RejectsIncompleteCases) {
 TEST(Sweep, PropagatesWorkerExceptions) {
   Trace trace = gen_uniform(10, 10, 1);
   std::vector<SweepCase> cases = {
-      {[]() -> std::unique_ptr<Network> {
-         throw TreeError("factory exploded");
-       },
-       &trace}};
+      {[]() -> AnyNetwork { throw TreeError("factory exploded"); }, &trace}};
   EXPECT_THROW(run_sweep(cases, 2), TreeError);
 }
 
@@ -87,8 +117,8 @@ TEST(Sweep, DeterministicAcrossThreadCounts) {
   Trace trace = gen_temporal(48, 8000, 0.75, 11);
   std::vector<SweepCase> cases;
   for (int k = 2; k <= 9; ++k) {
-    cases.push_back({[k, &trace] {
-                       return std::make_unique<KArySplayNetwork>(
+    cases.push_back({[k, &trace]() -> AnyNetwork {
+                       return KArySplayNetwork(
                            KArySplayNet::balanced(k, trace.n));
                      },
                      &trace});
