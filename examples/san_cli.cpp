@@ -4,18 +4,25 @@
 //   san_cli --trace mytrace.txt --topology centroid --k 2
 //   san_cli --workload temporal075 --topology optimal --k 3 --dump-tree t.dot
 //   san_cli --workload facebook --topology ksplay --shards 8 --partition hash
+//   san_cli --workload elephants --shards 8 --rebalance hotpair --epoch 5000
 //
 // Workloads: uniform temporal025 temporal05 temporal075 temporal09 hpc
-//            projector facebook, or --trace FILE (san-trace v1).
+//            projector facebook elephants rotating, or --trace FILE
+//            (san-trace v1).
 // Topologies: ksplay (k-ary SplayNet), semisplay (k-semi-splay only),
 //             centroid ((k+1)-SplayNet), binary (classic SplayNet),
 //             full (static complete k-ary), optimal (static demand-aware
 //             DP over the whole trace — hindsight reference).
 // Sharding: --shards S > 1 partitions the node space into S independent
 // ksplay/semisplay shards under a static top-level tree (--partition
-// contiguous|hash) and reports per-shard locality.
+// contiguous|hash) and reports per-shard locality. --rebalance
+// none|hotpair|watermark turns on adaptive rebalancing epochs over the
+// batched pipeline (--epoch N requests per epoch, drift trigger), with
+// migration counters in the summary.
 // Output: one summary table (mean / p50 / p99 / max per-request cost,
-// rotation and link-change totals) and optional CSV / dot dumps.
+// rotation and link-change totals) and optional CSV / dot dumps. The
+// rebalancing path serves through the batched drain, so per-request
+// percentiles are not available there.
 #include <cstring>
 #include <fstream>
 #include <iostream>
@@ -49,6 +56,8 @@ struct Options {
   int n = 0;  // 0 = workload default
   int shards = 1;
   std::string partition = "contiguous";
+  std::string rebalance = "none";
+  std::size_t epoch = 5000;
   std::size_t requests = 100000;
   std::uint64_t seed = 1;
   std::string dump_tree;   // dot output path
@@ -62,11 +71,13 @@ struct Options {
       << " [--workload NAME | --trace FILE] [--topology NAME] [--k K]\n"
          "          [--n N] [--requests M] [--seed S] [--csv]\n"
          "          [--shards S] [--partition contiguous|hash]\n"
+         "          [--rebalance none|hotpair|watermark] [--epoch N]\n"
          "          [--dump-tree FILE.dot] [--dump-trace FILE]\n"
          "workloads: uniform temporal025 temporal05 temporal075 temporal09\n"
-         "           hpc projector facebook\n"
+         "           hpc projector facebook elephants rotating\n"
          "topologies: ksplay semisplay centroid binary full optimal\n"
-         "--shards > 1 runs ksplay/semisplay shards under a static top tree\n";
+         "--shards > 1 runs ksplay/semisplay shards under a static top tree\n"
+         "--rebalance adds adaptive migration epochs (needs --shards > 1)\n";
   std::exit(2);
 }
 
@@ -85,6 +96,14 @@ Options parse(int argc, char** argv) {
     else if (arg == "--n") o.n = std::stoi(next());
     else if (arg == "--shards") o.shards = std::stoi(next());
     else if (arg == "--partition") o.partition = next();
+    else if (arg == "--rebalance") o.rebalance = next();
+    else if (arg == "--epoch") {
+      // stoull would silently wrap "-1" to a huge epoch (= rebalancing
+      // off); parse signed and range-check instead.
+      const long long v = std::stoll(next());
+      if (v < 0) usage(argv[0]);
+      o.epoch = static_cast<std::size_t>(v);
+    }
     else if (arg == "--requests") o.requests = std::stoull(next());
     else if (arg == "--seed") o.seed = std::stoull(next());
     else if (arg == "--dump-tree") o.dump_tree = next();
@@ -105,6 +124,8 @@ WorkloadKind parse_workload(const std::string& name) {
       {"hpc", WorkloadKind::kHpc},
       {"projector", WorkloadKind::kProjector},
       {"facebook", WorkloadKind::kFacebook},
+      {"elephants", WorkloadKind::kPhaseElephants},
+      {"rotating", WorkloadKind::kRotatingHot},
   };
   auto it = kinds.find(name);
   if (it == kinds.end()) throw TreeError("unknown workload: " + name);
@@ -115,6 +136,13 @@ ShardPartition parse_partition(const std::string& name) {
   if (name == "contiguous") return ShardPartition::kContiguous;
   if (name == "hash") return ShardPartition::kHash;
   throw TreeError("unknown partition policy: " + name);
+}
+
+RebalancePolicy parse_rebalance(const std::string& name) {
+  if (name == "none") return RebalancePolicy::kNone;
+  if (name == "hotpair") return RebalancePolicy::kHotPair;
+  if (name == "watermark") return RebalancePolicy::kWatermark;
+  throw TreeError("unknown rebalance policy: " + name);
 }
 
 AnyNetwork make_network(const Options& o, const Trace& trace) {
@@ -166,7 +194,50 @@ int main(int argc, char** argv) {
     if (!o.dump_trace.empty()) write_trace_file(o.dump_trace, trace);
 
     const TraceStats st = compute_stats(trace);
+    const RebalancePolicy rebalance = parse_rebalance(o.rebalance);
+    if (rebalance != RebalancePolicy::kNone && o.shards <= 1)
+      throw TreeError("--rebalance needs --shards > 1");
+    if (rebalance != RebalancePolicy::kNone && o.epoch == 0)
+      throw TreeError("--rebalance needs --epoch > 0");
     AnyNetwork net = make_network(o, trace);
+
+    Table out({"metric", "value"});
+    out.add_row({"network", net.name()});
+    out.add_row({"nodes", std::to_string(trace.n)});
+    out.add_row({"requests", std::to_string(trace.size())});
+    out.add_row({"trace repeat fraction", fixed_cell(st.repeat_fraction)});
+
+    if (rebalance != RebalancePolicy::kNone) {
+      // Adaptive path: the batched pipeline with rebalance epochs. Costs
+      // come as totals (no per-request series through the drains).
+      RebalanceConfig cfg;
+      cfg.policy = rebalance;
+      cfg.epoch_requests = o.epoch;
+      ShardedNetwork& sharded = *net.get_if<ShardedNetwork>();
+      const SimResult res =
+          run_trace_sharded(sharded, trace, {.rebalance = &cfg});
+      out.add_row({"rebalance policy", o.rebalance});
+      out.add_row({"epoch requests", std::to_string(cfg.epoch_requests)});
+      out.add_row({"mean cost/request", fixed_cell(res.avg_request_cost())});
+      out.add_row({"total routing", std::to_string(res.routing_cost)});
+      out.add_row({"total rotations", std::to_string(res.rotation_count)});
+      out.add_row({"total link changes", std::to_string(res.edge_changes)});
+      out.add_row({"rebalance epochs", std::to_string(res.rebalance_epochs)});
+      out.add_row({"migrations", std::to_string(res.migrations)});
+      out.add_row({"migration cost", std::to_string(res.migration_cost)});
+      out.add_row({"grand total cost", std::to_string(res.grand_total_cost())});
+      out.add_row(
+          {"final intra-shard fraction", fixed_cell(res.post_intra_fraction)});
+      out.add_row({"cross-shard requests", std::to_string(res.cross_shard)});
+      out.add_row({"shard load imbalance",
+                   fixed_cell(compute_shard_stats(trace, sharded.map())
+                                  .load_imbalance())});
+      if (o.csv)
+        std::cout << out.to_csv();
+      else
+        out.print();
+      return 0;
+    }
 
     CostSeries series;
     Cost routing = 0, rotations = 0, links = 0;
@@ -181,11 +252,6 @@ int main(int argc, char** argv) {
       }
     });
 
-    Table out({"metric", "value"});
-    out.add_row({"network", net.name()});
-    out.add_row({"nodes", std::to_string(trace.n)});
-    out.add_row({"requests", std::to_string(trace.size())});
-    out.add_row({"trace repeat fraction", fixed_cell(st.repeat_fraction)});
     out.add_row({"mean cost/request", fixed_cell(series.mean())});
     out.add_row({"p50 cost", std::to_string(series.percentile(0.50))});
     out.add_row({"p99 cost", std::to_string(series.percentile(0.99))});

@@ -1,17 +1,24 @@
 #include "sim/sharded_network.hpp"
 
+#include <algorithm>
+#include <iterator>
+
 #include "static_trees/full_tree.hpp"
 
 namespace san {
 
 ShardedNetwork::ShardedNetwork(int k, ShardMap map, RotationPolicy policy,
                                SplayMode mode)
-    : k_(k), map_(std::move(map)) {
+    : k_(k), map_(std::move(map)), policy_(policy), mode_(mode) {
   const int S = map_.shards();
   shards_.reserve(static_cast<std::size_t>(S));
-  for (int s = 0; s < S; ++s)
+  for (int s = 0; s < S; ++s) {
+    if (map_.shard_size(s) == 0)
+      throw TreeError("ShardedNetwork: shard " + std::to_string(s) +
+                      " owns no nodes");
     shards_.push_back(
         KArySplayNet::balanced(k, map_.shard_size(s), policy, mode));
+  }
 
   // The top-level tree is a demand-oblivious complete k-ary tree over the
   // S root slots (slot s = node s+1); it is consulted only through this
@@ -57,6 +64,125 @@ std::string ShardedNetwork::name() const {
   return "sharded[" + std::to_string(num_shards()) + "," +
          shard_partition_name(map_.policy()) + "] " + std::to_string(k_) +
          "-ary SplayNet";
+}
+
+void ShardedNetwork::append_edges(int shard,
+                                  std::vector<std::uint64_t>& out) const {
+  // Parent links of one shard in *global*-id terms: the encoding survives
+  // the local-id recompaction a migration causes, so the pre/post edge
+  // diff below charges exactly the links the batch rewired.
+  const KAryTree& t = shards_[static_cast<std::size_t>(shard)].tree();
+  for (NodeId local = 1; local <= t.size(); ++local) {
+    const NodeId p = t.parent(local);
+    if (p == kNoNode) continue;
+    out.push_back(pack_node_pair(map_.global_of(shard, local),
+                                 map_.global_of(shard, p)));
+  }
+}
+
+MigrationResult ShardedNetwork::apply_migrations(std::vector<Migration> batch) {
+  MigrationResult res;
+
+  // Normalize: drop no-ops, validate, fixed ascending-node order so the
+  // result is independent of how the planner emitted the batch.
+  std::erase_if(batch, [&](const Migration& m) {
+    if (m.node < 1 || m.node > map_.n())
+      throw TreeError("apply_migrations: node id out of range");
+    if (m.to_shard < 0 || m.to_shard >= map_.shards())
+      throw TreeError("apply_migrations: shard out of range");
+    return map_.shard_of(m.node) == m.to_shard;
+  });
+  if (batch.empty()) return res;
+  std::sort(batch.begin(), batch.end(),
+            [](const Migration& a, const Migration& b) {
+              return a.node < b.node;
+            });
+  for (std::size_t i = 1; i < batch.size(); ++i)
+    if (batch[i].node == batch[i - 1].node)
+      throw TreeError("apply_migrations: node migrated twice in one batch");
+
+  // Reject draining before any state changes. Only the *final* sizes
+  // matter: extractions run on the untouched trees and rebuilds happen
+  // after the whole batch remaps, so a shard transiently empty mid-remap
+  // is fine — one left empty at the end is not.
+  {
+    std::vector<int> owned(static_cast<std::size_t>(map_.shards()));
+    for (int s = 0; s < map_.shards(); ++s)
+      owned[static_cast<std::size_t>(s)] = map_.shard_size(s);
+    for (const Migration& m : batch) {
+      --owned[static_cast<std::size_t>(map_.shard_of(m.node))];
+      ++owned[static_cast<std::size_t>(m.to_shard)];
+    }
+    for (int s = 0; s < map_.shards(); ++s)
+      if (owned[static_cast<std::size_t>(s)] < 1)
+        throw TreeError("apply_migrations: batch would drain shard " +
+                        std::to_string(s));
+  }
+
+  std::vector<bool> affected(static_cast<std::size_t>(map_.shards()), false);
+  for (const Migration& m : batch) {
+    affected[static_cast<std::size_t>(map_.shard_of(m.node))] = true;
+    affected[static_cast<std::size_t>(m.to_shard)] = true;
+  }
+
+  // Phase 1 — extraction: splay every migrating node to its source shard's
+  // root under the *old* map (successive extractions from one shard act on
+  // the progressively adjusted tree, like any other access sequence).
+  for (const Migration& m : batch) {
+    const ServeResult up =
+        shard(map_.shard_of(m.node)).access(map_.local_of(m.node));
+    res.extraction_routing += up.routing_cost;
+    res.extraction_rotations += up.rotations;
+  }
+
+  std::vector<std::uint64_t> before, after;
+  for (int s = 0; s < map_.shards(); ++s)
+    if (affected[static_cast<std::size_t>(s)]) append_edges(s, before);
+
+  // Phase 2 — remap and rebuild the affected shards balanced over their
+  // compacted local id spaces.
+  for (const Migration& m : batch) map_.migrate(m.node, m.to_shard);
+  for (int s = 0; s < map_.shards(); ++s)
+    if (affected[static_cast<std::size_t>(s)])
+      shards_[static_cast<std::size_t>(s)] =
+          KArySplayNet::balanced(k_, map_.shard_size(s), policy_, mode_);
+
+  for (int s = 0; s < map_.shards(); ++s)
+    if (affected[static_cast<std::size_t>(s)]) append_edges(s, after);
+
+  std::sort(before.begin(), before.end());
+  std::sort(after.begin(), after.end());
+  std::vector<std::uint64_t> diff;
+  std::set_symmetric_difference(before.begin(), before.end(), after.begin(),
+                                after.end(), std::back_inserter(diff));
+  res.relink_edges = static_cast<Cost>(diff.size());
+  res.migrated = static_cast<int>(batch.size());
+  return res;
+}
+
+RebalanceCostHints ShardedNetwork::cost_hints() const {
+  RebalanceCostHints hints;
+  const int S = map_.shards();
+  if (S > 1) {
+    Cost top_sum = 0;
+    for (int a = 0; a < S; ++a)
+      for (int b = 0; b < S; ++b)
+        if (a != b) top_sum += top_distance(a, b);
+    const Cost top_pairs = static_cast<Cost>(S) * (S - 1);
+    // A colocated request saves the top route plus one of the two root
+    // ascents (integer inputs, so the value is bit-stable).
+    const double avg_shard =
+        static_cast<double>(map_.n()) / static_cast<double>(S);
+    int depth_est = 0;
+    for (double cap = 1.0; cap < avg_shard; cap = cap * k_ + 1.0) ++depth_est;
+    hints.cross_penalty =
+        static_cast<double>(top_sum) / static_cast<double>(top_pairs) +
+        depth_est;
+    // Extraction climbs about a balanced depth; the rebuild relinks a few
+    // edges per migrated node once batches amortize the shard rewires.
+    hints.migration_cost = 2.0 * depth_est + 2.0 * k_;
+  }
+  return hints;
 }
 
 }  // namespace san

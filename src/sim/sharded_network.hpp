@@ -29,8 +29,23 @@
 
 #include "core/splaynet.hpp"
 #include "workload/partition.hpp"
+#include "workload/rebalance.hpp"
 
 namespace san {
+
+/// Cost breakdown of one applied migration batch (see
+/// ShardedNetwork::apply_migrations for the model).
+struct MigrationResult {
+  int migrated = 0;
+  Cost extraction_routing = 0;    ///< levels climbed splaying nodes to roots
+  Cost extraction_rotations = 0;  ///< k-splay / k-semi-splay steps of those
+  Cost relink_edges = 0;          ///< edge symmetric difference of rebuilds
+
+  /// Unit-cost total, same convention as SimResult::total_cost.
+  Cost total_cost() const {
+    return extraction_routing + extraction_rotations + relink_edges;
+  }
+};
 
 class ShardedNetwork {
  public:
@@ -73,9 +88,33 @@ class ShardedNetwork {
   Cost cross_shard_served() const { return cross_served_; }
   void note_cross_served(Cost requests) { cross_served_ += requests; }
 
+  /// Applies one rebalancing batch between drains. Per migrating node (the
+  /// batch is processed in ascending node order, no-ops dropped):
+  ///   1. *Extraction*: the node is splayed to its source shard's root
+  ///      (KArySplayNet::access) — the splay-tree deletion idiom — and the
+  ///      ascent's routing + rotation cost is charged to the batch.
+  ///   2. The ShardMap migrates it (dense local ids recompact).
+  ///   3. Every affected shard rebuilds a balanced tree over its new local
+  ///      id space; the structural cost charged is the edge symmetric
+  ///      difference between the post-extraction and rebuilt topologies in
+  ///      global-id terms — this prices both the root detach and the
+  ///      re-insert at the destination root in Section 2 link units.
+  /// Throws TreeError (before touching anything) if the batch would drain
+  /// a shard below one node, since a shard serves a non-empty tree.
+  MigrationResult apply_migrations(std::vector<Migration> batch);
+
+  /// Engine-derived planning estimates: cross_penalty = mean top-level
+  /// route plus the second root ascent; migration_cost = a balanced-depth
+  /// extraction plus a per-node relink share.
+  RebalanceCostHints cost_hints() const;
+
  private:
+  void append_edges(int shard, std::vector<std::uint64_t>& out) const;
+
   int k_;
   ShardMap map_;
+  RotationPolicy policy_;
+  SplayMode mode_;
   std::vector<KArySplayNet> shards_;
   std::vector<Cost> top_dist_;  ///< S x S static route lengths, row-major
   Cost cross_served_ = 0;

@@ -1,24 +1,36 @@
 #include "sim/simulator.hpp"
 
+#include <algorithm>
+#include <span>
 #include <vector>
 
 #include "core/parallel.hpp"
+#include "workload/rebalance.hpp"
 
 namespace san {
 namespace {
+
+/// One shard's drain totals plus the ascent-op share, which the adaptive
+/// path uses to measure what a cross-shard request actually costs.
+struct ShardDrain {
+  SimResult sim;
+  Cost ascent_cost = 0;  ///< routing + rotations of the ascent ops alone
+};
 
 /// Serves one shard's op queue in order. Ops are local-id pairs; an ascent
 /// op (cross-shard half-request) splays its node to the shard root and is
 /// charged the pre-adjustment depth — exactly what ShardedNetwork::serve
 /// does inline, so pipeline and per-request paths cannot diverge.
-SimResult drain_shard(KArySplayNet& shard, const std::vector<ShardOp>& ops) {
-  SimResult res;
+ShardDrain drain_shard(KArySplayNet& shard, const std::vector<ShardOp>& ops) {
+  ShardDrain res;
   for (const ShardOp& op : ops) {
     const ServeResult s =
         op.is_ascent() ? shard.access(op.src) : shard.serve(op.src, op.dst);
-    res.routing_cost += s.routing_cost;
-    res.rotation_count += s.rotations;
-    res.edge_changes += s.edge_changes;
+    res.sim.routing_cost += s.routing_cost;
+    res.sim.rotation_count += s.rotations;
+    res.sim.edge_changes += s.edge_changes;
+    if (op.is_ascent())
+      res.ascent_cost += s.routing_cost + static_cast<Cost>(s.rotations);
   }
   return res;
 }
@@ -38,14 +50,30 @@ SimResult run_trace_static(const KAryTree& tree, const Trace& trace) {
   return res;
 }
 
-SimResult run_trace_sharded(ShardedNetwork& net, const Trace& trace,
-                            const ShardedRunOptions& opt) {
-  const PartitionedTrace pt = partition_trace(trace, net.map());
+namespace {
+
+/// Cross/intra split of one drained chunk, feeding the measured migration
+/// cost model: what did a cross-shard request cost here, against an
+/// intra-shard one?
+struct ChunkSplit {
+  Cost cross_cost = 0;  ///< ascent halves + top-level legs
+  Cost intra_cost = 0;  ///< everything else
+  std::size_t cross_requests = 0;
+  std::size_t intra_requests = 0;
+};
+
+/// Serves one contiguous slice of the trace through the batched pipeline
+/// and accumulates its costs into `res`. Both the static path (one chunk =
+/// the whole trace) and the rebalancing path (one chunk per epoch) go
+/// through here, so their drains cannot diverge.
+ChunkSplit drain_chunk(ShardedNetwork& net, std::span<const Request> chunk,
+                       const ShardedRunOptions& opt, SimResult& res) {
+  const PartitionedTrace pt = partition_trace(chunk, net.map());
   const int S = net.num_shards();
 
   // One result slot and one queue per shard: workers share nothing, so the
   // drain is deterministic regardless of scheduling.
-  std::vector<SimResult> partial(static_cast<std::size_t>(S));
+  std::vector<ShardDrain> partial(static_cast<std::size_t>(S));
   if (opt.sequential) {
     for (int s = 0; s < S; ++s)
       partial[static_cast<std::size_t>(s)] =
@@ -59,26 +87,112 @@ SimResult run_trace_sharded(ShardedNetwork& net, const Trace& trace,
 
   // Combine in shard index order (fixed, mode-independent): per-shard sums
   // plus the static top-level legs of every cross-shard request.
-  SimResult res;
+  ChunkSplit split;
+  Cost total = 0, ascents = 0;
   for (int s = 0; s < S; ++s) {
-    const SimResult& p = partial[static_cast<std::size_t>(s)];
-    res.routing_cost += p.routing_cost;
-    res.rotation_count += p.rotation_count;
-    res.edge_changes += p.edge_changes;
+    const ShardDrain& p = partial[static_cast<std::size_t>(s)];
+    res.routing_cost += p.sim.routing_cost;
+    res.rotation_count += p.sim.rotation_count;
+    res.edge_changes += p.sim.edge_changes;
+    total += p.sim.routing_cost + p.sim.rotation_count;
+    ascents += p.ascent_cost;
   }
+  split.cross_cost = ascents;
   for (int a = 0; a < S; ++a)
     for (int b = 0; b < S; ++b) {
       const std::size_t pairs =
           pt.cross_pairs[static_cast<std::size_t>(a) *
                              static_cast<std::size_t>(S) +
                          static_cast<std::size_t>(b)];
-      if (pairs != 0)
-        res.routing_cost +=
-            static_cast<Cost>(pairs) * net.top_distance(a, b);
+      if (pairs != 0) {
+        const Cost legs = static_cast<Cost>(pairs) * net.top_distance(a, b);
+        res.routing_cost += legs;
+        split.cross_cost += legs;
+      }
     }
-  res.requests = pt.total_requests;
-  res.cross_shard = static_cast<Cost>(pt.cross_requests);
+  split.intra_cost = total - ascents;
+  split.cross_requests = pt.cross_requests;
+  split.intra_requests = pt.total_requests - pt.cross_requests;
+  res.cross_shard += static_cast<Cost>(pt.cross_requests);
   net.note_cross_served(static_cast<Cost>(pt.cross_requests));
+  return split;
+}
+
+}  // namespace
+
+SimResult run_trace_sharded(ShardedNetwork& net, const Trace& trace,
+                            const ShardedRunOptions& opt) {
+  SimResult res;
+  res.requests = trace.size();
+  const std::span<const Request> all(trace.requests);
+
+  const bool adaptive = opt.rebalance != nullptr && opt.rebalance->enabled() &&
+                        net.num_shards() > 1;
+  if (!adaptive) {
+    drain_chunk(net, all, opt, res);
+  } else {
+    // Rebalance epochs: drain a chunk, account it into the sliding window,
+    // let the trigger decide at the barrier, apply the batch, resume. The
+    // final chunk skips the barrier — there is nothing left to serve, so a
+    // rebalance there would be pure cost.
+    RebalanceState state(*opt.rebalance);
+    const RebalanceCostHints base_hints = net.cost_hints();
+    const std::size_t epoch = opt.rebalance->epoch_requests;
+    const double decay = opt.rebalance->window_decay;
+    double cross_cost = 0.0, intra_cost = 0.0;
+    double cross_reqs = 0.0, intra_reqs = 0.0;
+    for (std::size_t begin = 0; begin < all.size(); begin += epoch) {
+      const std::span<const Request> chunk =
+          all.subspan(begin, std::min(epoch, all.size() - begin));
+      const ChunkSplit split = drain_chunk(net, chunk, opt, res);
+      if (begin + epoch >= all.size()) break;
+      // Aged at the same rate as the pair window, so the cost measurement
+      // tracks the topology the upcoming plan will actually serve instead
+      // of averaging in the long-gone cold-start epochs.
+      cross_cost = cross_cost * decay + static_cast<double>(split.cross_cost);
+      intra_cost = intra_cost * decay + static_cast<double>(split.intra_cost);
+      cross_reqs =
+          cross_reqs * decay + static_cast<double>(split.cross_requests);
+      intra_reqs =
+          intra_reqs * decay + static_cast<double>(split.intra_requests);
+      for (const Request& r : chunk) state.observe(r, net.map());
+
+      // Price colocation with the run's own measurements once both sides
+      // have been observed: what a cross-shard request has actually cost
+      // here, minus what an intra-shard one does. Splaying keeps hot
+      // nodes at their shard roots, so the static structural estimate can
+      // badly overprice the ascents — a measured penalty of ~0 correctly
+      // parks the rebalancer instead of churning nodes for nothing. The
+      // inputs are sums of exact integer totals scaled by dyadic decay
+      // factors: bit-deterministic across drain modes and thread counts.
+      RebalanceCostHints hints = base_hints;
+      if (cross_reqs > 0.0 && intra_reqs > 0.0) {
+        hints.cross_penalty =
+            std::max(0.0, cross_cost / cross_reqs - intra_cost / intra_reqs);
+      }
+
+      RebalancePlan plan = state.epoch(net.map(), hints);
+      if (!plan.triggered) continue;
+      ++res.rebalance_epochs;
+      if (plan.migrations.empty()) continue;
+      const MigrationResult applied =
+          net.apply_migrations(std::move(plan.migrations));
+      res.migrations += applied.migrated;
+      res.migration_cost += applied.total_cost();
+    }
+  }
+
+  // With an unchanged map the final intra fraction is already in the drain
+  // counters; only an actually-migrated map needs the full-trace re-scan.
+  if (res.migrations == 0)
+    res.post_intra_fraction =
+        res.requests == 0
+            ? 0.0
+            : 1.0 - static_cast<double>(res.cross_shard) /
+                        static_cast<double>(res.requests);
+  else
+    res.post_intra_fraction =
+        compute_shard_stats(trace, net.map()).intra_fraction();
   return res;
 }
 

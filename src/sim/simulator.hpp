@@ -27,8 +27,21 @@ struct SimResult {
                             ///< (always 0 for unsharded networks)
   std::size_t requests = 0;
 
+  // Rebalancing accounting (always 0 unless run_trace_sharded ran with an
+  // active RebalanceConfig). Migration cost is kept out of the serve-path
+  // counters above so static and adaptive runs stay comparable; use
+  // grand_total_cost() for the honest adaptive total.
+  Cost rebalance_epochs = 0;    ///< epochs whose trigger fired
+  Cost migrations = 0;          ///< nodes moved across shards
+  Cost migration_cost = 0;      ///< extraction splays + rebuild relinks
+  /// Intra-shard fraction of the whole trace under the *final* map (set by
+  /// run_trace_sharded in both static and adaptive modes).
+  double post_intra_fraction = 0.0;
+
   /// Experimental-section total: unit routing + unit rotation cost.
   Cost total_cost() const { return routing_cost + rotation_count; }
+  /// Serving total plus what the rebalancer spent moving nodes.
+  Cost grand_total_cost() const { return total_cost() + migration_cost; }
   /// Section 2 model total: routing + links added/removed.
   Cost model_cost() const { return routing_cost + edge_changes; }
   double avg_request_cost() const {
@@ -79,13 +92,22 @@ struct ShardedRunOptions {
   int threads = 0;          ///< Executor width for the concurrent drain (0 = auto)
   bool sequential = false;  ///< drain shards in index order on the caller —
                             ///< the bit-identical determinism reference
+  /// Non-null + enabled() turns on rebalance epochs: the trace is served
+  /// in epoch_requests-sized chunks; after each chunk the drain barrier
+  /// doubles as a rebalance point (observe window, evaluate trigger, apply
+  /// the planned batch, resume). Null or disabled reproduces the static
+  /// pipeline bit for bit.
+  const RebalanceConfig* rebalance = nullptr;
 };
 
 /// Batched sharded pipeline: partitions `trace` into per-shard op queues
 /// (arrival order preserved) and drains every shard independently —
 /// concurrently on the Executor unless `opt.sequential`. Costs are
 /// bit-identical across modes and thread counts, and identical to serving
-/// the same trace request-by-request through net.serve().
+/// the same trace request-by-request through net.serve(). With rebalancing
+/// enabled the epoch schedule, every planned batch, and hence every cost
+/// are still bit-identical across modes and thread counts: chunks drain
+/// deterministically and planning runs at the barrier on the caller.
 SimResult run_trace_sharded(ShardedNetwork& net, const Trace& trace,
                             const ShardedRunOptions& opt = {});
 

@@ -203,6 +203,79 @@ Trace gen_facebook(int n, std::size_t m, std::uint64_t seed) {
   return t;
 }
 
+Trace gen_phase_elephants(int n, std::size_t m, int phases,
+                          std::uint64_t seed) {
+  if (n < 4) throw TreeError("gen_phase_elephants needs n >= 4");
+  if (phases < 1) throw TreeError("gen_phase_elephants needs phases >= 1");
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<double> coin(0.0, 1.0);
+
+  const std::size_t phase_len =
+      std::max<std::size_t>(1, (m + static_cast<std::size_t>(phases) - 1) /
+                                   static_cast<std::size_t>(phases));
+  const std::size_t support = static_cast<std::size_t>(n);
+  ZipfSampler zipf(static_cast<int>(support), 1.6);
+
+  Trace t;
+  t.n = n;
+  t.requests.reserve(m);
+  std::vector<Request> pairs;
+  while (t.requests.size() < m) {
+    if (t.requests.size() % phase_len == 0) {
+      // Phase boundary: a fresh elephant support — the previous hot pairs
+      // go cold at once, the new ones land anywhere in the id space.
+      pairs.clear();
+      while (pairs.size() < support)
+        pairs.push_back(fresh_uniform_pair(n, rng));
+    }
+    if (coin(rng) < 0.04) {
+      t.requests.push_back(fresh_uniform_pair(n, rng));  // mice flows
+      continue;
+    }
+    t.requests.push_back(pairs[static_cast<size_t>(zipf(rng)) - 1]);
+  }
+  return t;
+}
+
+Trace gen_rotating_hotset(int n, std::size_t m, int hot,
+                          std::size_t rotate_every, std::uint64_t seed) {
+  if (n < 4) throw TreeError("gen_rotating_hotset needs n >= 4");
+  if (hot < 2 || hot > n)
+    throw TreeError("gen_rotating_hotset needs 2 <= hot <= n");
+  if (rotate_every == 0)
+    throw TreeError("gen_rotating_hotset needs rotate_every >= 1");
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<double> coin(0.0, 1.0);
+
+  std::vector<NodeId> ids(static_cast<size_t>(n));
+  std::iota(ids.begin(), ids.end(), 1);
+  std::vector<NodeId> hotset;
+
+  Trace t;
+  t.n = n;
+  t.requests.reserve(m);
+  auto hot_node = [&]() -> NodeId {
+    return hotset[static_cast<size_t>(rng() % hotset.size())];
+  };
+  auto pick = [&]() -> NodeId {
+    if (coin(rng) < 0.92) return hot_node();
+    return static_cast<NodeId>(1 + rng() % static_cast<std::uint64_t>(n));
+  };
+  while (t.requests.size() < m) {
+    if (t.requests.size() % rotate_every == 0) {
+      // Resample the hot set without replacement: a fresh cluster that is
+      // scattered across shards under any static partition.
+      std::shuffle(ids.begin(), ids.end(), rng);
+      hotset.assign(ids.begin(), ids.begin() + hot);
+    }
+    NodeId u = pick();
+    NodeId v = pick();
+    while (v == u) v = pick();
+    t.requests.push_back({u, v});
+  }
+  return t;
+}
+
 const char* workload_name(WorkloadKind kind) {
   switch (kind) {
     case WorkloadKind::kUniform:
@@ -221,6 +294,10 @@ const char* workload_name(WorkloadKind kind) {
       return "ProjecToR";
     case WorkloadKind::kFacebook:
       return "Facebook";
+    case WorkloadKind::kPhaseElephants:
+      return "PhaseElephants";
+    case WorkloadKind::kRotatingHot:
+      return "RotatingHot";
   }
   return "?";
 }
@@ -240,6 +317,9 @@ int paper_node_count(WorkloadKind kind) {
       return 100;
     case WorkloadKind::kFacebook:
       return 10000;
+    case WorkloadKind::kPhaseElephants:
+    case WorkloadKind::kRotatingHot:
+      return 1024;
   }
   return 0;
 }
@@ -264,6 +344,12 @@ Trace gen_workload(WorkloadKind kind, int n, std::size_t m,
       return gen_projector(n, m, seed);
     case WorkloadKind::kFacebook:
       return gen_facebook(n, m, seed);
+    case WorkloadKind::kPhaseElephants:
+      return gen_phase_elephants(n, m, /*phases=*/8, seed);
+    case WorkloadKind::kRotatingHot:
+      return gen_rotating_hotset(n, m, /*hot=*/std::max(2, n / 16),
+                                 /*rotate_every=*/std::max<std::size_t>(1, m / 16),
+                                 seed);
   }
   throw TreeError("unknown workload kind");
 }

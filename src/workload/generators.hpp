@@ -42,6 +42,25 @@ Trace gen_projector(int n, std::size_t m, std::uint64_t seed);
 /// a shuffled Zipf(1.05) popularity distribution; no repetition bonus.
 Trace gen_facebook(int n, std::size_t m, std::uint64_t seed);
 
+// --- drifting workloads (not from the paper) ---------------------------
+// The families below model communication patterns whose *spatial* locality
+// moves over time — the regime where a static shard partition decays and
+// the adaptive rebalancer (workload/rebalance.hpp) earns its keep.
+
+/// Phase-change elephant pairs: ProjecToR-like sparse elephant support
+/// (~n pairs, Zipf weights, a few percent mice noise), but the support is
+/// redrawn from scratch at every phase boundary (`phases` equal phases
+/// over the trace), so the hot communication graph shifts abruptly.
+Trace gen_phase_elephants(int n, std::size_t m, int phases,
+                          std::uint64_t seed);
+
+/// Rotating hot set: both endpoints are drawn from a small hot set of
+/// `hot` nodes with probability ~0.92 (uniform otherwise); the hot set is
+/// resampled uniformly at random every `rotate_every` requests, so the
+/// cluster that should be colocated keeps moving across the id space.
+Trace gen_rotating_hotset(int n, std::size_t m, int hot,
+                          std::size_t rotate_every, std::uint64_t seed);
+
 /// Identifier of the workloads used by benches/examples.
 enum class WorkloadKind {
   kUniform,
@@ -52,6 +71,8 @@ enum class WorkloadKind {
   kHpc,
   kProjector,
   kFacebook,
+  kPhaseElephants,  ///< gen_phase_elephants, 8 phases
+  kRotatingHot,     ///< gen_rotating_hotset, hot = n/16, 16 rotations
 };
 
 const char* workload_name(WorkloadKind kind);
@@ -62,7 +83,8 @@ Trace gen_workload(WorkloadKind kind, int n, std::size_t m,
                    std::uint64_t seed);
 
 /// The paper's node count for each workload (Section 5 setup): uniform 100,
-/// temporal 1023, HPC 500, ProjecToR 100, Facebook 10^4.
+/// temporal 1023, HPC 500, ProjecToR 100, Facebook 10^4. The drifting
+/// families are not from the paper and default to 1024.
 int paper_node_count(WorkloadKind kind);
 
 }  // namespace san

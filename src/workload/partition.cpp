@@ -24,6 +24,8 @@ const char* shard_partition_name(ShardPartition policy) {
       return "contiguous";
     case ShardPartition::kHash:
       return "hash";
+    case ShardPartition::kExplicit:
+      return "explicit";
   }
   return "?";
 }
@@ -66,17 +68,74 @@ ShardMap::ShardMap(int n, int shards, ShardPartition policy)
                       " empty; use fewer shards");
 }
 
+ShardMap::ShardMap(int n, int shards, const std::vector<int>& assignment)
+    : n_(n), shards_(shards), policy_(ShardPartition::kExplicit) {
+  if (n < 1) throw TreeError("ShardMap: need at least one node");
+  if (shards < 1) throw TreeError("ShardMap: need at least one shard");
+  if (assignment.size() != static_cast<std::size_t>(n) + 1)
+    throw TreeError("ShardMap: assignment must have n+1 entries (index 0 unused)");
+
+  shard_of_.assign(static_cast<std::size_t>(n) + 1, 0);
+  local_of_.assign(static_cast<std::size_t>(n) + 1, kNoNode);
+  globals_.assign(static_cast<std::size_t>(shards), {});
+  for (NodeId id = 1; id <= n; ++id) {
+    const int s = assignment[static_cast<std::size_t>(id)];
+    if (s < 0 || s >= shards)
+      throw TreeError("ShardMap: assignment of node " + std::to_string(id) +
+                      " out of range");
+    shard_of_[static_cast<std::size_t>(id)] = s;
+    globals_[static_cast<std::size_t>(s)].push_back(id);
+    local_of_[static_cast<std::size_t>(id)] =
+        static_cast<NodeId>(globals_[static_cast<std::size_t>(s)].size());
+  }
+}
+
+void ShardMap::migrate(NodeId id, int to_shard) {
+  check(id);
+  if (to_shard < 0 || to_shard >= shards_)
+    throw TreeError("ShardMap::migrate: shard " + std::to_string(to_shard) +
+                    " out of range");
+  const int from = shard_of_[static_cast<std::size_t>(id)];
+  if (from == to_shard) return;
+
+  // Extract: locals are rank-ordered, so the node's position in its source
+  // shard is exactly local_of - 1; everything after it shifts down one.
+  std::vector<NodeId>& src = globals_[static_cast<std::size_t>(from)];
+  const std::size_t at = static_cast<std::size_t>(
+      local_of_[static_cast<std::size_t>(id)] - 1);
+  src.erase(src.begin() + static_cast<std::ptrdiff_t>(at));
+  for (std::size_t i = at; i < src.size(); ++i)
+    --local_of_[static_cast<std::size_t>(src[i])];
+
+  // Insert at the global-id rank position of the destination; everything
+  // at or after it shifts up one, keeping locals dense and rank-ordered.
+  std::vector<NodeId>& dst = globals_[static_cast<std::size_t>(to_shard)];
+  const auto pos = std::lower_bound(dst.begin(), dst.end(), id);
+  const std::size_t rank = static_cast<std::size_t>(pos - dst.begin());
+  for (auto it = pos; it != dst.end(); ++it)
+    ++local_of_[static_cast<std::size_t>(*it)];
+  dst.insert(dst.begin() + static_cast<std::ptrdiff_t>(rank), id);
+
+  shard_of_[static_cast<std::size_t>(id)] = to_shard;
+  local_of_[static_cast<std::size_t>(id)] = static_cast<NodeId>(rank + 1);
+}
+
 PartitionedTrace partition_trace(const Trace& trace, const ShardMap& map) {
+  return partition_trace(std::span<const Request>(trace.requests), map);
+}
+
+PartitionedTrace partition_trace(std::span<const Request> requests,
+                                 const ShardMap& map) {
   const int S = map.shards();
   PartitionedTrace pt;
   pt.ops.assign(static_cast<std::size_t>(S), {});
   pt.cross_pairs.assign(static_cast<std::size_t>(S) * static_cast<std::size_t>(S),
                         0);
-  pt.total_requests = trace.size();
+  pt.total_requests = requests.size();
 
   // Size the queues in one counting pass so the fill pass never reallocates.
   std::vector<std::size_t> sizes(static_cast<std::size_t>(S), 0);
-  for (const Request& r : trace.requests) {
+  for (const Request& r : requests) {
     const int a = map.shard_of(r.src);
     const int b = map.shard_of(r.dst);
     ++sizes[static_cast<std::size_t>(a)];
@@ -85,7 +144,7 @@ PartitionedTrace partition_trace(const Trace& trace, const ShardMap& map) {
   for (int s = 0; s < S; ++s)
     pt.ops[static_cast<std::size_t>(s)].reserve(sizes[static_cast<std::size_t>(s)]);
 
-  for (const Request& r : trace.requests) {
+  for (const Request& r : requests) {
     const int a = map.shard_of(r.src);
     const int b = map.shard_of(r.dst);
     if (a == b) {
@@ -105,16 +164,27 @@ PartitionedTrace partition_trace(const Trace& trace, const ShardMap& map) {
   return pt;
 }
 
+int ShardLocalityStats::empty_shards() const {
+  int count = 0;
+  for (int o : owned)
+    if (o == 0) ++count;
+  return count;
+}
+
 double ShardLocalityStats::load_imbalance() const {
   if (touches.empty()) return 1.0;
-  std::size_t max = 0, sum = 0;
-  for (std::size_t t : touches) {
-    max = std::max(max, t);
-    sum += t;
+  // Range only over shards that own nodes (see header): an empty shard's
+  // zero touches would otherwise deflate the mean toward an inf-like
+  // overstatement as migrations drain shards.
+  std::size_t max = 0, sum = 0, active = 0;
+  for (std::size_t s = 0; s < touches.size(); ++s) {
+    if (s < owned.size() && owned[s] == 0) continue;
+    ++active;
+    max = std::max(max, touches[s]);
+    sum += touches[s];
   }
-  if (sum == 0) return 1.0;
-  const double mean =
-      static_cast<double>(sum) / static_cast<double>(touches.size());
+  if (active == 0 || sum == 0) return 1.0;
+  const double mean = static_cast<double>(sum) / static_cast<double>(active);
   return static_cast<double>(max) / mean;
 }
 
@@ -125,6 +195,9 @@ ShardLocalityStats compute_shard_stats(const Trace& trace,
   st.shards = S;
   st.intra.assign(static_cast<std::size_t>(S), 0);
   st.touches.assign(static_cast<std::size_t>(S), 0);
+  st.owned.assign(static_cast<std::size_t>(S), 0);
+  for (int s = 0; s < S; ++s)
+    st.owned[static_cast<std::size_t>(s)] = map.shard_size(s);
   st.total_requests = trace.size();
   for (const Request& r : trace.requests) {
     const int a = map.shard_of(r.src);

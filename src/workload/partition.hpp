@@ -23,25 +23,57 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "workload/request.hpp"
 
 namespace san {
 
+/// Collision-free 64-bit key of an *unordered* node pair (ids are 31-bit
+/// positive): min id in the high word, max in the low. Shared by the
+/// rebalance window histogram and the migration edge-diff accounting so
+/// the encoding cannot drift between them.
+inline std::uint64_t pack_node_pair(NodeId a, NodeId b) {
+  if (a > b) {
+    const NodeId t = a;
+    a = b;
+    b = t;
+  }
+  return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(a)) << 32) |
+         static_cast<std::uint32_t>(b);
+}
+
 enum class ShardPartition {
   kContiguous,  ///< shard s owns ids [s*n/S-ish range]; sizes differ by <= 1
   kHash,        ///< splitmix64(id) % S; sizes concentrate around n/S
+  kExplicit,    ///< caller-supplied assignment (rebuilds, fuzz references)
 };
 
 const char* shard_partition_name(ShardPartition policy);
 
-/// Immutable node -> (shard, local id) mapping. Construction validates
-/// 1 <= shards <= n and that no shard is empty (hash can starve a shard
-/// only when n is tiny relative to S).
+/// Node -> (shard, local id) mapping. Construction validates 1 <= shards
+/// <= n and that no shard is empty (hash can starve a shard only when n is
+/// tiny relative to S). After construction the map can evolve one node at
+/// a time through migrate(), which keeps local ids dense and rank-ordered;
+/// migrate() may drain a shard to empty (the serving engine layers its own
+/// no-empty-shard guard on top, sim/sharded_network.hpp).
 class ShardMap {
  public:
   ShardMap(int n, int shards, ShardPartition policy = ShardPartition::kContiguous);
+
+  /// From-scratch rebuild of an explicit assignment: `assignment[id]` is
+  /// the shard of node id (index 0 unused). Unlike the policy constructor
+  /// this allows empty shards — it is the reference a sequence of
+  /// migrate() calls is checked against (tests/test_migration_fuzz.cpp).
+  ShardMap(int n, int shards, const std::vector<int>& assignment);
+
+  /// Moves one node to `to_shard` (no-op when it already lives there).
+  /// Local ids recompact on both sides: the source shard's locals above
+  /// the extracted rank shift down, the destination's locals at and above
+  /// the insertion rank shift up, so both shards keep dense 1..|shard|
+  /// local ids in ascending global order. O(|source| + |destination|).
+  void migrate(NodeId id, int to_shard);
 
   int n() const { return n_; }
   int shards() const { return shards_; }
@@ -97,6 +129,11 @@ struct PartitionedTrace {
 };
 
 PartitionedTrace partition_trace(const Trace& trace, const ShardMap& map);
+/// Span overload: projects one contiguous slice of a trace — what the
+/// rebalancing pipeline feeds between epochs. Queues drained chunk by
+/// chunk concatenate to exactly the whole-trace projection.
+PartitionedTrace partition_trace(std::span<const Request> requests,
+                                 const ShardMap& map);
 
 /// Per-shard locality profile of a trace under a ShardMap: how much of the
 /// traffic stays inside one shard, and how evenly the serving work spreads.
@@ -104,8 +141,12 @@ struct ShardLocalityStats {
   int shards = 0;
   std::vector<std::size_t> intra;    ///< [shard] requests fully inside it
   std::vector<std::size_t> touches;  ///< [shard] endpoint touches (load proxy)
+  std::vector<int> owned;            ///< [shard] nodes the map assigns to it
   std::size_t cross_requests = 0;
   std::size_t total_requests = 0;
+
+  /// Shards that own no nodes (possible after migrate() drains one).
+  int empty_shards() const;
 
   /// Fraction of requests served without touching the top-level tree.
   double intra_fraction() const {
@@ -115,6 +156,10 @@ struct ShardLocalityStats {
                            static_cast<double>(total_requests);
   }
   /// Max over shards of touches / mean touches; 1.0 = perfectly balanced.
+  /// Both max and mean range only over shards that own at least one node:
+  /// a shard migration drained to empty can receive no traffic, and letting
+  /// it deflate the mean would overstate the imbalance of the shards that
+  /// actually serve (with every shard empty of traffic this returns 1.0).
   double load_imbalance() const;
 };
 

@@ -1,0 +1,388 @@
+#include "workload/rebalance.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace san {
+namespace {
+
+std::uint64_t pair_key(NodeId u, NodeId v) { return pack_node_pair(u, v); }
+
+}  // namespace
+
+const char* rebalance_policy_name(RebalancePolicy policy) {
+  switch (policy) {
+    case RebalancePolicy::kNone:
+      return "none";
+    case RebalancePolicy::kHotPair:
+      return "hotpair";
+    case RebalancePolicy::kWatermark:
+      return "watermark";
+  }
+  return "?";
+}
+
+const char* rebalance_trigger_name(RebalanceTrigger trigger) {
+  switch (trigger) {
+    case RebalanceTrigger::kEveryEpoch:
+      return "every-epoch";
+    case RebalanceTrigger::kCrossFraction:
+      return "cross-fraction";
+    case RebalanceTrigger::kImbalance:
+      return "imbalance";
+    case RebalanceTrigger::kDrift:
+      return "drift";
+  }
+  return "?";
+}
+
+RebalanceState::RebalanceState(RebalanceConfig cfg) : cfg_(cfg) {
+  if (cfg_.window_decay < 0.0 || cfg_.window_decay >= 1.0)
+    throw TreeError("RebalanceState: window_decay must be in [0, 1)");
+  if (cfg_.max_migrations < 0)
+    throw TreeError("RebalanceState: max_migrations must be >= 0");
+}
+
+void RebalanceState::observe(const Request& r, const ShardMap& map) {
+  if (r.src == r.dst) return;
+  pairs_[pair_key(r.src, r.dst)] += 1.0;
+  requests_ += 1.0;
+  if (map.shard_of(r.src) != map.shard_of(r.dst)) cross_ += 1.0;
+}
+
+double RebalanceState::pair_weight(NodeId u, NodeId v) const {
+  const auto it = pairs_.find(pair_key(u, v));
+  return it == pairs_.end() ? 0.0 : it->second;
+}
+
+std::vector<RebalanceState::PairEntry> RebalanceState::sorted_entries() const {
+  std::vector<PairEntry> entries;
+  entries.reserve(pairs_.size());
+  for (const auto& [key, weight] : pairs_)
+    entries.push_back({static_cast<NodeId>(key >> 32),
+                       static_cast<NodeId>(key & 0xffffffffu), weight});
+  // Hot pairs first; full (u, v) tie-break so the order — and with it every
+  // greedy decision — is independent of hash-map iteration order.
+  std::sort(entries.begin(), entries.end(),
+            [](const PairEntry& a, const PairEntry& b) {
+              if (a.weight != b.weight) return a.weight > b.weight;
+              if (a.u != b.u) return a.u < b.u;
+              return a.v < b.v;
+            });
+  return entries;
+}
+
+void RebalanceState::decay() {
+  for (auto& [key, weight] : pairs_) weight *= cfg_.window_decay;
+  requests_ *= cfg_.window_decay;
+  cross_ *= cfg_.window_decay;
+  // Prune aged-out pairs; if the table still exceeds its capacity, raise
+  // the cut deterministically until it fits (value predicate — no
+  // dependence on iteration order).
+  double cut = 1.0;
+  while (true) {
+    std::erase_if(pairs_, [cut](const auto& kv) { return kv.second < cut; });
+    if (pairs_.size() <= cfg_.window_capacity) break;
+    cut *= 2.0;
+  }
+}
+
+RebalancePlan RebalanceState::epoch(const ShardMap& map,
+                                    const RebalanceCostHints& hints) {
+  RebalancePlan plan;
+  plan.cross_fraction =
+      requests_ == 0.0 ? 0.0 : cross_ / requests_;
+
+  const std::vector<PairEntry> entries = sorted_entries();
+
+  // Window load per shard (each endpoint touch counts its weight), shared
+  // by the imbalance trigger and the watermark policy.
+  std::vector<double> touches(static_cast<std::size_t>(map.shards()), 0.0);
+  for (const PairEntry& e : entries) {
+    touches[static_cast<std::size_t>(map.shard_of(e.u))] += e.weight;
+    const int sv = map.shard_of(e.v);
+    if (sv != map.shard_of(e.u))
+      touches[static_cast<std::size_t>(sv)] += e.weight;
+  }
+  {
+    double max = 0.0, sum = 0.0;
+    int active = 0;
+    for (int s = 0; s < map.shards(); ++s) {
+      if (map.shard_size(s) == 0) continue;
+      ++active;
+      max = std::max(max, touches[static_cast<std::size_t>(s)]);
+      sum += touches[static_cast<std::size_t>(s)];
+    }
+    plan.load_imbalance =
+        (active == 0 || sum == 0.0) ? 1.0 : max / (sum / active);
+  }
+
+  // Drift score: how much of the current hot-pair set is new. Computed
+  // every epoch (not only under kDrift) so the plan always reports it and
+  // the history stays warm across trigger changes.
+  {
+    std::vector<std::uint64_t> top;
+    const std::size_t k = std::min(cfg_.drift_top_k, entries.size());
+    top.reserve(k);
+    for (std::size_t i = 0; i < k; ++i)
+      top.push_back(pair_key(entries[i].u, entries[i].v));
+    std::sort(top.begin(), top.end());
+    if (prev_top_.empty() || top.empty()) {
+      // An empty history is not drift: the first window only seeds the
+      // detector. The initial partition is configuration — rebalancing
+      // exists to chase *change*, and a workload that never changes should
+      // serve exactly like PR 3's static engine.
+      plan.drift = 0.0;
+    } else {
+      std::size_t fresh = 0;
+      for (std::uint64_t key : top)
+        if (!std::binary_search(prev_top_.begin(), prev_top_.end(), key))
+          ++fresh;
+      plan.drift = static_cast<double>(fresh) / static_cast<double>(top.size());
+    }
+    if (!top.empty()) prev_top_ = std::move(top);
+  }
+
+  switch (cfg_.trigger) {
+    case RebalanceTrigger::kEveryEpoch:
+      plan.triggered = true;
+      break;
+    case RebalanceTrigger::kCrossFraction:
+      plan.triggered = plan.cross_fraction > cfg_.trigger_cross_fraction;
+      break;
+    case RebalanceTrigger::kImbalance:
+      plan.triggered = plan.load_imbalance > cfg_.trigger_imbalance;
+      break;
+    case RebalanceTrigger::kDrift:
+      plan.triggered = plan.drift > cfg_.trigger_drift;
+      break;
+  }
+
+  if (plan.triggered && map.shards() > 1) {
+    RebalanceCostHints resolved = hints;
+    if (cfg_.cross_penalty > 0.0) resolved.cross_penalty = cfg_.cross_penalty;
+    if (cfg_.policy == RebalancePolicy::kHotPair)
+      plan_hot_pairs(map, resolved, entries, plan);
+    else if (cfg_.policy == RebalancePolicy::kWatermark)
+      plan_watermark(map, resolved, entries, touches, plan);
+  }
+
+  decay();
+  return plan;
+}
+
+namespace {
+
+/// Per-node window adjacency, built once per planning pass from the sorted
+/// entry list (so its per-node partner order is deterministic too).
+struct Adjacency {
+  std::unordered_map<NodeId, std::vector<std::pair<NodeId, double>>> of;
+
+  void add(NodeId a, NodeId b, double w) {
+    of[a].push_back({b, w});
+    of[b].push_back({a, w});
+  }
+};
+
+/// Window weight node `x` sends to shard `t` under assignment `shard_of`.
+double affinity(const Adjacency& adj, const std::vector<int>& shard_of,
+                NodeId x, int t) {
+  const auto it = adj.of.find(x);
+  if (it == adj.of.end()) return 0.0;
+  double sum = 0.0;
+  for (const auto& [partner, w] : it->second)
+    if (shard_of[static_cast<std::size_t>(partner)] == t) sum += w;
+  return sum;
+}
+
+/// Working copies a greedy planning pass mutates as it accepts moves, so
+/// later decisions price earlier ones in. Shared by both policies.
+struct PlanScratch {
+  std::vector<int> shard_of;
+  std::vector<int> owned;
+  std::vector<bool> moved;
+
+  explicit PlanScratch(const ShardMap& map)
+      : shard_of(static_cast<std::size_t>(map.n()) + 1),
+        owned(static_cast<std::size_t>(map.shards())),
+        moved(static_cast<std::size_t>(map.n()) + 1, false) {
+    for (NodeId id = 1; id <= map.n(); ++id)
+      shard_of[static_cast<std::size_t>(id)] = map.shard_of(id);
+    for (int s = 0; s < map.shards(); ++s)
+      owned[static_cast<std::size_t>(s)] = map.shard_size(s);
+  }
+};
+
+}  // namespace
+
+namespace {
+
+/// Largest node count the capacity guard lets one shard reach.
+int shard_capacity(const ShardMap& map, double factor) {
+  const double even =
+      static_cast<double>(map.n()) / static_cast<double>(map.shards());
+  const int cap = static_cast<int>(factor * even);
+  return std::max(cap, 2);
+}
+
+}  // namespace
+
+void RebalanceState::plan_hot_pairs(const ShardMap& map,
+                                    const RebalanceCostHints& hints,
+                                    const std::vector<PairEntry>& entries,
+                                    RebalancePlan& plan) const {
+  Adjacency adj;
+  for (const PairEntry& e : entries) adj.add(e.u, e.v, e.weight);
+  const int capacity = shard_capacity(map, cfg_.capacity_factor);
+
+  PlanScratch sc(map);
+  std::vector<int>& shard_of = sc.shard_of;
+  std::vector<int>& owned = sc.owned;
+  std::vector<bool>& moved = sc.moved;
+
+  for (const PairEntry& e : entries) {
+    if (static_cast<int>(plan.migrations.size()) >= cfg_.max_migrations) break;
+    const int su = shard_of[static_cast<std::size_t>(e.u)];
+    const int sv = shard_of[static_cast<std::size_t>(e.v)];
+    if (su == sv) continue;
+
+    // Candidate moves: u joins v's shard or v joins u's. Score each by the
+    // projected per-window saving (affinity gained minus affinity lost,
+    // priced at the cross penalty) net of the migration cost estimate.
+    double best_gain = cfg_.min_gain;
+    NodeId best_node = kNoNode;
+    int best_target = -1;
+    for (const auto& [node, target] : {std::pair{e.u, sv}, std::pair{e.v, su}}) {
+      const int cur = shard_of[static_cast<std::size_t>(node)];
+      if (moved[static_cast<std::size_t>(node)]) continue;
+      if (owned[static_cast<std::size_t>(cur)] <= 1) continue;  // never drain
+      if (owned[static_cast<std::size_t>(target)] >= capacity) continue;
+      const double delta = affinity(adj, shard_of, node, target) -
+                           affinity(adj, shard_of, node, cur);
+      const double gain = delta * hints.cross_penalty - hints.migration_cost;
+      if (gain > best_gain) {
+        best_gain = gain;
+        best_node = node;
+        best_target = target;
+      }
+    }
+    if (best_node == kNoNode) continue;
+
+    plan.migrations.push_back({best_node, best_target});
+    plan.est_gain += best_gain;
+    moved[static_cast<std::size_t>(best_node)] = true;
+    --owned[static_cast<std::size_t>(shard_of[static_cast<std::size_t>(best_node)])];
+    ++owned[static_cast<std::size_t>(best_target)];
+    shard_of[static_cast<std::size_t>(best_node)] = best_target;
+  }
+}
+
+void RebalanceState::plan_watermark(const ShardMap& map,
+                                    const RebalanceCostHints& hints,
+                                    const std::vector<PairEntry>& entries,
+                                    const std::vector<double>& touches,
+                                    RebalancePlan& plan) const {
+  Adjacency adj;
+  for (const PairEntry& e : entries) adj.add(e.u, e.v, e.weight);
+  // The greedy loop evolves the same per-shard load epoch() already
+  // measured (one endpoint touch per pair per shard).
+  std::vector<double> load = touches;
+
+  PlanScratch sc(map);
+  std::vector<int>& shard_of = sc.shard_of;
+  std::vector<int>& owned = sc.owned;
+  std::vector<bool>& moved = sc.moved;
+
+  // Per-node window weight (the sum over its pairs; its *shed-able* load
+  // is smaller — pairs with a partner in the same shard keep touching the
+  // shard through the partner after the node leaves).
+  std::unordered_map<NodeId, double> node_load;
+  for (const PairEntry& e : entries) {
+    node_load[e.u] += e.weight;
+    node_load[e.v] += e.weight;
+  }
+
+  while (static_cast<int>(plan.migrations.size()) < cfg_.max_migrations) {
+    double max = 0.0, sum = 0.0;
+    int active = 0, hottest = -1;
+    for (int s = 0; s < map.shards(); ++s) {
+      if (owned[static_cast<std::size_t>(s)] == 0) continue;
+      ++active;
+      sum += load[static_cast<std::size_t>(s)];
+      if (hottest < 0 || load[static_cast<std::size_t>(s)] > max) {
+        max = load[static_cast<std::size_t>(s)];
+        hottest = s;
+      }
+    }
+    if (active <= 1 || sum == 0.0) break;
+    const double mean = sum / active;
+    if (max <= cfg_.watermark * mean) break;
+    if (owned[static_cast<std::size_t>(hottest)] <= 1) break;
+
+    // Evict the node of the hottest shard least attached to it: smallest
+    // (internal - external) window affinity; ties break toward the node
+    // with less load, then the smaller id.
+    NodeId evict = kNoNode;
+    double evict_score = 0.0;
+    double evict_load = 0.0;
+    for (NodeId local = 1; local <= map.shard_size(hottest); ++local) {
+      const NodeId node = map.global_of(hottest, local);
+      if (moved[static_cast<std::size_t>(node)]) continue;
+      if (shard_of[static_cast<std::size_t>(node)] != hottest) continue;
+      const auto nl = node_load.find(node);
+      const double w = nl == node_load.end() ? 0.0 : nl->second;
+      if (w == 0.0) continue;  // moving silent nodes cannot shed load
+      const double score =
+          2.0 * affinity(adj, shard_of, node, hottest) - w;  // internal - external
+      if (evict == kNoNode || score < evict_score ||
+          (score == evict_score && w < evict_load)) {
+        evict = node;
+        evict_score = score;
+        evict_load = w;
+      }
+    }
+    if (evict == kNoNode) break;
+
+    // Send it where it is most attached among the under-loaded shards;
+    // with no attachment anywhere, fall back to the least-loaded one.
+    int target = -1;
+    double target_aff = 0.0;  // strictly positive affinity required
+    int coldest = -1;
+    const int capacity = shard_capacity(map, cfg_.capacity_factor);
+    for (int s = 0; s < map.shards(); ++s) {
+      if (s == hottest || owned[static_cast<std::size_t>(s)] == 0) continue;
+      if (owned[static_cast<std::size_t>(s)] >= capacity) continue;
+      if (load[static_cast<std::size_t>(s)] >= mean) continue;
+      if (coldest < 0 ||
+          load[static_cast<std::size_t>(s)] < load[static_cast<std::size_t>(coldest)])
+        coldest = s;
+      const double aff = affinity(adj, shard_of, evict, s);
+      if (aff > target_aff) {
+        target_aff = aff;
+        target = s;
+      }
+    }
+    if (target < 0) {
+      target = coldest;
+      if (target < 0) break;
+      target_aff = affinity(adj, shard_of, evict, target);
+    }
+
+    plan.migrations.push_back({evict, target});
+    plan.est_gain += target_aff * hints.cross_penalty - hints.migration_cost;
+    moved[static_cast<std::size_t>(evict)] = true;
+    // A touch leaves the hot shard only for pairs whose partner is not
+    // also there (intra pairs keep anchoring it through the partner), and
+    // the target gains one touch for every pair not already ending there.
+    const auto nl = node_load.find(evict);
+    const double w = nl == node_load.end() ? 0.0 : nl->second;
+    load[static_cast<std::size_t>(hottest)] -=
+        w - affinity(adj, shard_of, evict, hottest);
+    load[static_cast<std::size_t>(target)] += w - target_aff;
+    --owned[static_cast<std::size_t>(hottest)];
+    ++owned[static_cast<std::size_t>(target)];
+    shard_of[static_cast<std::size_t>(evict)] = target;
+  }
+}
+
+}  // namespace san

@@ -1,0 +1,180 @@
+// Online shard-rebalancing policies: decide *which* nodes should move to
+// *which* shard as the communication pattern drifts.
+//
+// A static ShardMap pays the cross-shard penalty forever once the hot pairs
+// move — the same self-adjustment-vs-static tension the paper studies at
+// the tree level, replayed one level up. This layer closes it: a
+// RebalanceState accumulates a sliding-window histogram of communication
+// pairs (exponentially aged: counts decay by `window_decay` at each epoch
+// boundary, so the window slides without storing the raw tail), and at
+// every epoch a pluggable trigger decides whether to plan a migration
+// batch under one of two policies:
+//   * kHotPair   — greedy hot-pair colocation: walk cross-shard pairs by
+//     descending window weight and move the endpoint whose window affinity
+//     to the partner's shard exceeds its affinity to its own, whenever the
+//     projected per-window saving beats the migration cost estimate.
+//   * kWatermark — load-watermark balancing: while the hottest shard's
+//     window load exceeds `watermark` x the active-shard mean, move its
+//     least-attached nodes to the shard they are most attached to among
+//     the under-loaded ones.
+// Planning is pure (it never touches the serving engine): it consumes the
+// ShardMap plus two cost hints the simulator derives from the engine, and
+// returns a batch the engine applies between drains
+// (sim/sharded_network.hpp: apply_migrations). Every decision is a
+// deterministic function of the observed requests — weights are dyadic
+// rationals (integer counts halved), candidate orders are fully tie-broken
+// — so sequential and concurrent drains plan identical batches.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "workload/partition.hpp"
+#include "workload/request.hpp"
+
+namespace san {
+
+/// One planned node move.
+struct Migration {
+  NodeId node = kNoNode;
+  int to_shard = -1;
+
+  friend bool operator==(const Migration&, const Migration&) = default;
+};
+
+enum class RebalancePolicy {
+  kNone,       ///< never migrate — exactly PR 3's static sharding
+  kHotPair,    ///< greedy hot-pair colocation
+  kWatermark,  ///< load-watermark draining of overloaded shards
+};
+
+enum class RebalanceTrigger {
+  kEveryEpoch,     ///< plan at every epoch; empty plans are free
+  kCrossFraction,  ///< plan only when the window cross fraction exceeds
+                   ///< trigger_cross_fraction
+  kImbalance,      ///< plan only when the window load imbalance exceeds
+                   ///< trigger_imbalance
+  kDrift,          ///< plan only when the window's hot-pair set moved:
+                   ///< fraction of the current top-k pairs absent from the
+                   ///< previous epoch's exceeds trigger_drift. Parks the
+                   ///< rebalancer on stationary workloads (a static map
+                   ///< already is the steady-state answer there) while
+                   ///< reacting within one epoch to phase changes.
+};
+
+const char* rebalance_policy_name(RebalancePolicy policy);
+const char* rebalance_trigger_name(RebalanceTrigger trigger);
+
+struct RebalanceConfig {
+  RebalancePolicy policy = RebalancePolicy::kNone;
+  RebalanceTrigger trigger = RebalanceTrigger::kDrift;
+  /// Requests between epoch checks; 0 disables rebalancing outright
+  /// (epoch = infinity), as does policy == kNone.
+  std::size_t epoch_requests = 8192;
+  /// Aging factor applied to every window weight at each epoch boundary.
+  double window_decay = 0.5;
+  /// Hard cap on migrations per epoch (bounds the pause length).
+  int max_migrations = 64;
+  double trigger_cross_fraction = 0.05;
+  double trigger_imbalance = 1.5;
+  /// kDrift: rebalance when more than this fraction of the current top
+  /// drift_top_k pairs was absent from the previous epoch's top set.
+  double trigger_drift = 0.3;
+  std::size_t drift_top_k = 32;
+  /// A move must beat the migration cost estimate by this many cost units
+  /// (projected over one window) to be accepted.
+  double min_gain = 0.0;
+  /// Cost saved per request converted from cross- to intra-shard; 0 means
+  /// "derive from the engine" (top-tree route + the second root ascent).
+  double cross_penalty = 0.0;
+  /// kWatermark: tolerated max-shard-load / mean-shard-load ratio.
+  double watermark = 1.3;
+  /// Capacity guard for every policy: no shard may grow beyond
+  /// capacity_factor * (n / shards) nodes. Without it, greedy colocation
+  /// on a stationary skewed workload (independent Zipf endpoints) keeps
+  /// pulling the hot nodes into one mega-shard, trading away the
+  /// parallelism and the shallow trees sharding exists to provide.
+  double capacity_factor = 1.5;
+  /// Soft cap on distinct pairs kept in the window (aged-out entries are
+  /// pruned at epoch boundaries first, lightest pairs next).
+  std::size_t window_capacity = 1 << 16;
+
+  bool enabled() const {
+    return policy != RebalancePolicy::kNone && epoch_requests > 0;
+  }
+};
+
+/// Engine-derived cost estimates the planner prices moves with.
+struct RebalanceCostHints {
+  /// Cost saved per colocated request (overridden by cfg.cross_penalty).
+  double cross_penalty = 3.0;
+  /// Estimated one-off cost of migrating one node (extraction ascent plus
+  /// its share of the relink batch).
+  double migration_cost = 8.0;
+};
+
+struct RebalancePlan {
+  bool triggered = false;
+  std::vector<Migration> migrations;
+  /// Projected per-window saving of the batch minus its migration cost,
+  /// in the same units as SimResult::total_cost.
+  double est_gain = 0.0;
+  double cross_fraction = 0.0;
+  double load_imbalance = 1.0;
+  /// Fraction of the current top pairs that are new since last epoch.
+  /// 0.0 while the history is empty: the first window only seeds the
+  /// detector (an initial partition is configuration, not drift).
+  double drift = 0.0;
+};
+
+class RebalanceState {
+ public:
+  explicit RebalanceState(RebalanceConfig cfg);
+
+  const RebalanceConfig& config() const { return cfg_; }
+
+  /// Accounts one served request into the window under the current map.
+  void observe(const Request& r, const ShardMap& map);
+
+  /// Epoch boundary: evaluates the trigger against the current window,
+  /// plans a batch when it fires, then ages the window. The returned
+  /// migrations never drain a shard below one node and never move a node
+  /// twice.
+  RebalancePlan epoch(const ShardMap& map, const RebalanceCostHints& hints);
+
+  // Window introspection (tests / CLI).
+  double window_requests() const { return requests_; }
+  double window_cross() const { return cross_; }
+  double pair_weight(NodeId u, NodeId v) const;
+
+ private:
+  struct PairEntry {
+    NodeId u = kNoNode;  ///< u < v (unordered pair)
+    NodeId v = kNoNode;
+    double weight = 0.0;
+  };
+
+  void plan_hot_pairs(const ShardMap& map, const RebalanceCostHints& hints,
+                      const std::vector<PairEntry>& entries,
+                      RebalancePlan& plan) const;
+  /// `touches` is the per-shard window load epoch() measured (one endpoint
+  /// touch per pair per shard), reused as the evolving load model.
+  void plan_watermark(const ShardMap& map, const RebalanceCostHints& hints,
+                      const std::vector<PairEntry>& entries,
+                      const std::vector<double>& touches,
+                      RebalancePlan& plan) const;
+  std::vector<PairEntry> sorted_entries() const;
+  void decay();
+
+  RebalanceConfig cfg_;
+  /// (min id << 32 | max id) -> exponentially aged request count.
+  std::unordered_map<std::uint64_t, double> pairs_;
+  /// Previous epoch's top drift_top_k pair keys, sorted (drift detector).
+  std::vector<std::uint64_t> prev_top_;
+  double requests_ = 0.0;
+  double cross_ = 0.0;
+};
+
+}  // namespace san

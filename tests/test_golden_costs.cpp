@@ -41,6 +41,9 @@ const std::vector<WorkloadKind> kKinds = {
     WorkloadKind::kTemporal05,  WorkloadKind::kTemporal075,
     WorkloadKind::kTemporal09,  WorkloadKind::kHpc,
     WorkloadKind::kProjector,   WorkloadKind::kFacebook,
+    // Drifting families (PR 4): rows generated at their introduction, so
+    // unlike the rows above they lock current — not seed — behaviour.
+    WorkloadKind::kPhaseElephants, WorkloadKind::kRotatingHot,
 };
 
 struct NetworkSpec {
@@ -178,6 +181,24 @@ const Golden kGoldens[] = {
     {"Facebook", "static-full-k3", 1824, 0},
     {"Facebook", "static-centroid-k3", 2323, 0},
     {"Facebook", "static-optimal-k3", 1095, 0},
+    {"PhaseElephants", "splay-k2", 2178, 5420},
+    {"PhaseElephants", "splay-k3", 2001, 5770},
+    {"PhaseElephants", "splay-k5", 1956, 5644},
+    {"PhaseElephants", "semi-splay-k3", 2477, 6774},
+    {"PhaseElephants", "centroid-k3", 2099, 3294},
+    {"PhaseElephants", "binary", 2192, 5444},
+    {"PhaseElephants", "static-full-k3", 1979, 0},
+    {"PhaseElephants", "static-centroid-k3", 1920, 0},
+    {"PhaseElephants", "static-optimal-k3", 1380, 0},
+    {"RotatingHot", "splay-k2", 1465, 3496},
+    {"RotatingHot", "splay-k3", 1341, 3822},
+    {"RotatingHot", "splay-k5", 1265, 3686},
+    {"RotatingHot", "semi-splay-k3", 1511, 4108},
+    {"RotatingHot", "centroid-k3", 1421, 1216},
+    {"RotatingHot", "binary", 1452, 3446},
+    {"RotatingHot", "static-full-k3", 1850, 0},
+    {"RotatingHot", "static-centroid-k3", 2097, 0},
+    {"RotatingHot", "static-optimal-k3", 1208, 0},
 };
 
 bool print_mode() {

@@ -1,0 +1,175 @@
+// Seeded fuzz suite for the migration invariants: after random migrate()
+// bursts a ShardMap must stay a bijection with dense rank-ordered local
+// ids and match an independent from-scratch rebuild of the same final
+// assignment; the serving engine's trees must stay valid under interleaved
+// serve/migration traffic; and a migrated-but-unserved engine must be
+// indistinguishable — replayed costs included — from one built from
+// scratch over the final map.
+#include <gtest/gtest.h>
+
+#include <random>
+#include <string>
+#include <vector>
+
+#include "sim/simulator.hpp"
+#include "workload/generators.hpp"
+#include "workload/rebalance.hpp"
+
+namespace san {
+namespace {
+
+/// Full consistency audit of one map: inverse mappings agree, local ids
+/// are dense 1..|shard| in ascending global order, every node is owned by
+/// exactly one shard.
+void check_bijection(const ShardMap& map, const std::string& what) {
+  std::vector<int> seen(static_cast<std::size_t>(map.n()) + 1, 0);
+  int total = 0;
+  for (int s = 0; s < map.shards(); ++s) {
+    NodeId prev_global = 0;
+    for (NodeId local = 1; local <= map.shard_size(s); ++local) {
+      const NodeId global = map.global_of(s, local);
+      ASSERT_GE(global, 1) << what;
+      ASSERT_LE(global, map.n()) << what;
+      ASSERT_GT(global, prev_global) << what << " shard " << s;  // rank order
+      prev_global = global;
+      ASSERT_EQ(map.shard_of(global), s) << what << " node " << global;
+      ASSERT_EQ(map.local_of(global), local) << what << " node " << global;
+      ++seen[static_cast<std::size_t>(global)];
+    }
+    total += map.shard_size(s);
+  }
+  ASSERT_EQ(total, map.n()) << what;
+  for (NodeId id = 1; id <= map.n(); ++id)
+    ASSERT_EQ(seen[static_cast<std::size_t>(id)], 1) << what << " node " << id;
+}
+
+TEST(MigrationFuzz, MapStaysABijectionUnderRandomBursts) {
+  for (std::uint64_t seed : {1u, 42u, 4096u}) {
+    std::mt19937_64 rng(seed);
+    for (const auto& [n, S] : {std::pair{30, 3}, {128, 8}, {257, 16}}) {
+      const ShardPartition policy =
+          seed % 2 ? ShardPartition::kHash : ShardPartition::kContiguous;
+      ShardMap map(n, S, policy);
+      for (int burst = 0; burst < 10; ++burst) {
+        for (int i = 0; i < 40; ++i) {
+          const NodeId node = static_cast<NodeId>(1 + rng() % n);
+          const int target = static_cast<int>(rng() % S);
+          map.migrate(node, target);  // emptying a shard is legal map-level
+        }
+        check_bijection(map, "seed=" + std::to_string(seed) +
+                                 " n=" + std::to_string(n) +
+                                 " burst=" + std::to_string(burst));
+      }
+
+      // The migrated map must equal an independent from-scratch rebuild of
+      // its final assignment.
+      std::vector<int> assignment(static_cast<std::size_t>(n) + 1, 0);
+      for (NodeId id = 1; id <= n; ++id) assignment[static_cast<std::size_t>(id)] = map.shard_of(id);
+      const ShardMap rebuilt(n, S, assignment);
+      for (NodeId id = 1; id <= n; ++id) {
+        ASSERT_EQ(map.shard_of(id), rebuilt.shard_of(id));
+        ASSERT_EQ(map.local_of(id), rebuilt.local_of(id));
+      }
+      for (int s = 0; s < S; ++s)
+        ASSERT_EQ(map.shard_size(s), rebuilt.shard_size(s));
+    }
+  }
+}
+
+TEST(MigrationFuzz, MigratedEngineEqualsFromScratchRebuild) {
+  // Migration bursts with no serves in between: every affected shard is
+  // rebuilt balanced and untouched shards started balanced, so the engine
+  // must be structurally identical to one built directly over the final
+  // map — and replaying any trace must cost exactly the same.
+  for (std::uint64_t seed : {9u, 333u, 70000u}) {
+    std::mt19937_64 rng(seed);
+    const int n = 80, S = 5, k = 3;
+    ShardedNetwork net = ShardedNetwork::balanced(k, n, S,
+                                                  ShardPartition::kHash);
+    Cost accumulated = 0;
+    for (int burst = 0; burst < 6; ++burst) {
+      std::vector<Migration> batch;
+      std::vector<bool> used(static_cast<std::size_t>(n) + 1, false);
+      for (int i = 0; i < 8; ++i) {
+        const NodeId node = static_cast<NodeId>(1 + rng() % n);
+        const int target = static_cast<int>(rng() % S);
+        if (used[static_cast<std::size_t>(node)]) continue;
+        if (net.map().shard_of(node) != target &&
+            net.map().shard_size(net.map().shard_of(node)) <= 1)
+          continue;
+        used[static_cast<std::size_t>(node)] = true;
+        batch.push_back({node, target});
+      }
+      accumulated += net.apply_migrations(std::move(batch)).total_cost();
+    }
+
+    std::vector<int> assignment(static_cast<std::size_t>(n) + 1, 0);
+    for (NodeId id = 1; id <= n; ++id) assignment[static_cast<std::size_t>(id)] = net.map().shard_of(id);
+    ShardedNetwork rebuilt(k, ShardMap(n, S, assignment));
+
+    for (int s = 0; s < S; ++s) {
+      const KAryTree& ta = net.shard(s).tree();
+      const KAryTree& tb = rebuilt.shard(s).tree();
+      ASSERT_EQ(ta.size(), tb.size()) << "seed=" << seed << " shard " << s;
+      ASSERT_TRUE(ta.valid());
+      for (NodeId id = 1; id <= ta.size(); ++id) {
+        ASSERT_EQ(ta.parent(id), tb.parent(id))
+            << "seed=" << seed << " shard " << s << " local " << id;
+        ASSERT_EQ(ta.slot_in_parent(id), tb.slot_in_parent(id));
+      }
+    }
+
+    const Trace probe = gen_workload(WorkloadKind::kUniform, n, 1500, seed);
+    const SimResult a = run_trace_sharded(net, probe);
+    const SimResult b = run_trace_sharded(rebuilt, probe);
+    EXPECT_EQ(a.routing_cost, b.routing_cost) << "seed=" << seed;
+    EXPECT_EQ(a.rotation_count, b.rotation_count) << "seed=" << seed;
+    EXPECT_EQ(a.edge_changes, b.edge_changes) << "seed=" << seed;
+    EXPECT_EQ(a.cross_shard, b.cross_shard) << "seed=" << seed;
+    EXPECT_GT(accumulated, 0) << "seed=" << seed;
+  }
+}
+
+TEST(MigrationFuzz, ShardsStayValidUnderInterleavedServesAndMigrations) {
+  for (std::uint64_t seed : {5u, 123u, 999u}) {
+    std::mt19937_64 rng(seed);
+    const int n = 72, S = 6, k = 2;
+    ShardedNetwork net = ShardedNetwork::balanced(k, n, S);
+    const Trace traffic = gen_workload(WorkloadKind::kTemporal05, n, 6000,
+                                       seed * 31 + 1);
+    std::size_t cursor = 0;
+    for (int round = 0; round < 12; ++round) {
+      // A burst of real traffic...
+      for (int i = 0; i < 400 && cursor < traffic.size(); ++i, ++cursor)
+        net.serve(traffic[cursor].src, traffic[cursor].dst);
+      // ...then a random migration batch.
+      std::vector<Migration> batch;
+      std::vector<bool> used(static_cast<std::size_t>(n) + 1, false);
+      for (int i = 0; i < 5; ++i) {
+        const NodeId node = static_cast<NodeId>(1 + rng() % n);
+        const int target = static_cast<int>(rng() % S);
+        if (used[static_cast<std::size_t>(node)]) continue;
+        if (net.map().shard_of(node) != target &&
+            net.map().shard_size(net.map().shard_of(node)) <= 1)
+          continue;
+        used[static_cast<std::size_t>(node)] = true;
+        batch.push_back({node, target});
+      }
+      net.apply_migrations(std::move(batch));
+
+      int total = 0;
+      for (int s = 0; s < S; ++s) {
+        const auto err = net.shard(s).tree().validate();
+        ASSERT_FALSE(err.has_value())
+            << "seed=" << seed << " round=" << round << " shard " << s
+            << ": " << *err;
+        total += net.shard(s).size();
+      }
+      ASSERT_EQ(total, n);
+      check_bijection(net.map(), "engine seed=" + std::to_string(seed));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace san

@@ -83,6 +83,99 @@ TEST(ShardMap, SingleShardIsIdentity) {
   }
 }
 
+TEST(ShardMap, MigrateRecompactsLocalIdsOnBothSides) {
+  // n=12, S=3 contiguous: shard 0 = {1..4}, 1 = {5..8}, 2 = {9..12}.
+  ShardMap map(12, 3, ShardPartition::kContiguous);
+  map.migrate(6, 2);
+  EXPECT_EQ(map.shard_of(6), 2);
+  // Source locals above the extracted rank shift down...
+  EXPECT_EQ(map.shard_size(1), 3);
+  EXPECT_EQ(map.local_of(5), 1);
+  EXPECT_EQ(map.local_of(7), 2);
+  EXPECT_EQ(map.local_of(8), 3);
+  // ...and the destination inserts at global rank: 6 < 9 <= 12.
+  EXPECT_EQ(map.shard_size(2), 5);
+  EXPECT_EQ(map.local_of(6), 1);
+  EXPECT_EQ(map.local_of(9), 2);
+  EXPECT_EQ(map.local_of(12), 5);
+  EXPECT_EQ(map.global_of(2, 1), 6);
+
+  // Moving it back restores the original mapping exactly.
+  map.migrate(6, 1);
+  for (NodeId id = 1; id <= 12; ++id) {
+    EXPECT_EQ(map.shard_of(id), (id - 1) / 4);
+    EXPECT_EQ(map.local_of(id), ((id - 1) % 4) + 1);
+  }
+
+  // No-op and error cases.
+  map.migrate(6, 1);
+  EXPECT_EQ(map.local_of(6), 2);
+  EXPECT_THROW(map.migrate(0, 1), TreeError);
+  EXPECT_THROW(map.migrate(13, 1), TreeError);
+  EXPECT_THROW(map.migrate(1, 3), TreeError);
+  EXPECT_THROW(map.migrate(1, -1), TreeError);
+}
+
+TEST(ShardMap, ExplicitAssignmentRoundTrips) {
+  std::vector<int> assign(9, 0);
+  for (NodeId id = 1; id <= 8; ++id) assign[static_cast<std::size_t>(id)] = id % 3;
+  ShardMap map(8, 3, assign);
+  EXPECT_EQ(map.policy(), ShardPartition::kExplicit);
+  for (NodeId id = 1; id <= 8; ++id) EXPECT_EQ(map.shard_of(id), id % 3);
+  // Empty shards are allowed here (unlike the policy constructor).
+  std::vector<int> lopsided(9, 0);
+  ShardMap empties(8, 3, lopsided);
+  EXPECT_EQ(empties.shard_size(0), 8);
+  EXPECT_EQ(empties.shard_size(1), 0);
+  EXPECT_THROW(ShardMap(8, 3, std::vector<int>(9, 7)), TreeError);
+  EXPECT_THROW(ShardMap(8, 3, std::vector<int>(4, 0)), TreeError);
+}
+
+TEST(ShardStats, EmptyShardIsDefinedAndExcludedFromImbalance) {
+  // Drain shard 1 of a 2-shard map by migration, then profile traffic that
+  // necessarily only touches shard 0: the imbalance must stay the finite,
+  // meaningful ratio over the shards that still own nodes.
+  ShardMap map(8, 2, ShardPartition::kContiguous);
+  for (NodeId id = 5; id <= 8; ++id) map.migrate(id, 0);
+  Trace t;
+  t.n = 8;
+  t.requests = {{1, 2}, {2, 3}, {5, 8}};
+  ShardLocalityStats st = compute_shard_stats(t, map);
+  EXPECT_EQ(st.empty_shards(), 1);
+  EXPECT_EQ(st.owned[0], 8);
+  EXPECT_EQ(st.owned[1], 0);
+  EXPECT_EQ(st.touches[1], 0u);
+  // One active shard carrying everything is, by definition, balanced among
+  // the active shards — not infinitely imbalanced.
+  EXPECT_DOUBLE_EQ(st.load_imbalance(), 1.0);
+  EXPECT_DOUBLE_EQ(st.intra_fraction(), 1.0);
+}
+
+TEST(PartitionTrace, SpanChunksConcatenateToTheWholeProjection) {
+  const Trace t = gen_workload(WorkloadKind::kUniform, 64, 1000, 7);
+  ShardMap map(64, 4, ShardPartition::kHash);
+  const PartitionedTrace whole = partition_trace(t, map);
+  PartitionedTrace glued;
+  glued.ops.assign(4, {});
+  glued.cross_pairs.assign(16, 0);
+  const std::span<const Request> all(t.requests);
+  for (std::size_t at = 0; at < all.size(); at += 333) {
+    const PartitionedTrace part =
+        partition_trace(all.subspan(at, std::min<std::size_t>(333, all.size() - at)), map);
+    for (int s = 0; s < 4; ++s)
+      glued.ops[static_cast<std::size_t>(s)].insert(
+          glued.ops[static_cast<std::size_t>(s)].end(),
+          part.ops[static_cast<std::size_t>(s)].begin(),
+          part.ops[static_cast<std::size_t>(s)].end());
+    for (std::size_t i = 0; i < 16; ++i)
+      glued.cross_pairs[i] += part.cross_pairs[i];
+    glued.cross_requests += part.cross_requests;
+  }
+  EXPECT_EQ(glued.ops, whole.ops);
+  EXPECT_EQ(glued.cross_pairs, whole.cross_pairs);
+  EXPECT_EQ(glued.cross_requests, whole.cross_requests);
+}
+
 TEST(PartitionTrace, ProjectsRequestsInArrivalOrder) {
   // Hand-built trace on n=6, S=2 contiguous: shard 0 = {1,2,3} -> local
   // 1..3, shard 1 = {4,5,6} -> local 1..3.

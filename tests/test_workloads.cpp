@@ -3,6 +3,11 @@
 // (they are what the paper's Section 5 conclusions hinge on).
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <map>
+#include <set>
+#include <vector>
+
 #include "workload/generators.hpp"
 #include "workload/trace_stats.hpp"
 #include "workload/zipf.hpp"
@@ -27,7 +32,8 @@ TEST(Workloads, AllGeneratorsProduceValidTraces) {
        {WorkloadKind::kUniform, WorkloadKind::kTemporal025,
         WorkloadKind::kTemporal05, WorkloadKind::kTemporal075,
         WorkloadKind::kTemporal09, WorkloadKind::kHpc,
-        WorkloadKind::kProjector, WorkloadKind::kFacebook}) {
+        WorkloadKind::kProjector, WorkloadKind::kFacebook,
+        WorkloadKind::kPhaseElephants, WorkloadKind::kRotatingHot}) {
     Trace t = gen_workload(kind, 64, 5000, 1);
     check_basic(t, 64, 5000);
   }
@@ -36,6 +42,8 @@ TEST(Workloads, AllGeneratorsProduceValidTraces) {
 TEST(Workloads, Deterministic) {
   for (WorkloadKind kind : {WorkloadKind::kUniform, WorkloadKind::kHpc,
                             WorkloadKind::kProjector, WorkloadKind::kFacebook,
+                            WorkloadKind::kPhaseElephants,
+                            WorkloadKind::kRotatingHot,
                             WorkloadKind::kTemporal05}) {
     Trace a = gen_workload(kind, 50, 2000, 42);
     Trace b = gen_workload(kind, 50, 2000, 42);
@@ -138,6 +146,77 @@ TEST(Workloads, RejectDegenerateParameters) {
   EXPECT_THROW(gen_temporal(10, 10, 1.0, 0), TreeError);
   EXPECT_THROW(gen_temporal(10, 10, -0.1, 0), TreeError);
   EXPECT_THROW(gen_hpc(4, 10, 0), TreeError);
+  EXPECT_THROW(gen_phase_elephants(10, 10, 0, 0), TreeError);
+  EXPECT_THROW(gen_phase_elephants(2, 10, 4, 0), TreeError);
+  EXPECT_THROW(gen_rotating_hotset(10, 10, 1, 5, 0), TreeError);
+  EXPECT_THROW(gen_rotating_hotset(10, 10, 11, 5, 0), TreeError);
+  EXPECT_THROW(gen_rotating_hotset(10, 10, 4, 0, 0), TreeError);
+}
+
+TEST(Workloads, PhaseElephantsDriftAcrossPhases) {
+  // The communication graph must actually move: the top pairs of the first
+  // phase should carry almost none of the last phase's traffic.
+  const int n = 200;
+  const std::size_t m = 40000;
+  const int phases = 4;
+  Trace t = gen_phase_elephants(n, m, phases, 17);
+  const std::size_t phase_len = m / phases;
+
+  auto top_pairs = [&](std::size_t begin, std::size_t end) {
+    std::map<std::pair<NodeId, NodeId>, int> counts;
+    for (std::size_t i = begin; i < end; ++i)
+      ++counts[{t[i].src, t[i].dst}];
+    std::vector<std::pair<int, std::pair<NodeId, NodeId>>> sorted;
+    for (const auto& [pair, c] : counts) sorted.push_back({c, pair});
+    std::sort(sorted.rbegin(), sorted.rend());
+    sorted.resize(std::min<std::size_t>(sorted.size(), 10));
+    return sorted;
+  };
+  const auto first = top_pairs(0, phase_len);
+  const auto last = top_pairs(m - phase_len, m);
+  // Each phase is heavily concentrated on its own elephants...
+  EXPECT_GT(first[0].first, static_cast<int>(phase_len) / 50);
+  // ...and the hot sets are (essentially) disjoint across phases.
+  std::size_t shared = 0;
+  for (const auto& [ca, pa] : first)
+    for (const auto& [cb, pb] : last)
+      if (pa == pb) ++shared;
+  EXPECT_LE(shared, 1u);
+}
+
+TEST(Workloads, RotatingHotsetConcentratesThenMoves) {
+  const int n = 256;
+  const std::size_t m = 32000;
+  const int hot = 16;
+  const std::size_t rotate = 8000;
+  Trace t = gen_rotating_hotset(n, m, hot, rotate, 23);
+
+  auto hot_nodes = [&](std::size_t begin, std::size_t end) {
+    std::map<NodeId, int> counts;
+    for (std::size_t i = begin; i < end; ++i) {
+      ++counts[t[i].src];
+      ++counts[t[i].dst];
+    }
+    std::vector<std::pair<int, NodeId>> sorted;
+    for (const auto& [node, c] : counts) sorted.push_back({c, node});
+    std::sort(sorted.rbegin(), sorted.rend());
+    std::set<NodeId> top;
+    for (int i = 0; i < hot && i < static_cast<int>(sorted.size()); ++i)
+      top.insert(sorted[static_cast<std::size_t>(i)].second);
+    return top;
+  };
+  const std::set<NodeId> first = hot_nodes(0, rotate);
+  const std::set<NodeId> second = hot_nodes(rotate, 2 * rotate);
+  // Within a rotation, the hot set dominates the endpoint distribution:
+  // ~92% of endpoints fall on 16 of 256 nodes.
+  std::size_t first_hits = 0;
+  for (std::size_t i = 0; i < rotate; ++i)
+    first_hits += first.count(t[i].src) + first.count(t[i].dst);
+  EXPECT_GT(first_hits, 2 * rotate * 8 / 10);
+  // Across rotations the sets barely overlap (16 of 256 resampled).
+  std::size_t overlap = 0;
+  for (NodeId id : first) overlap += second.count(id);
+  EXPECT_LT(overlap, 4u);
 }
 
 TEST(Workloads, StatsOnEmptyTrace) {
