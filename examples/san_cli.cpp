@@ -23,11 +23,13 @@
 // rotation and link-change totals) and optional CSV / dot dumps. The
 // rebalancing path serves through the batched drain, so per-request
 // percentiles are not available there.
+#include <algorithm>
 #include <cstring>
 #include <fstream>
 #include <iostream>
 #include <map>
 #include <memory>
+#include <optional>
 #include <string>
 
 #include "core/splaynet.hpp"
@@ -63,7 +65,36 @@ struct Options {
   std::string dump_tree;   // dot output path
   std::string dump_trace;  // san-trace output path
   bool csv = false;
+  bool optimal_gap = false;
 };
+
+// Hindsight optimality gap: cost of the Theorem 2 optimal static tree for
+// the trace's own demand matrix, via the cost-only DP entry (no tree is
+// materialized). Feasible well past the old n = 256 ceiling since the
+// flat engine rewrite, but the DP's table footprint is O(n^2 k) — cap it
+// so an interactive run cannot silently allocate gigabytes (k = 2 at
+// n = 4096 is ~390 MB total and ~8 s; k = 10 at the same n would be
+// ~1.7 GB of tables alone and is rejected).
+constexpr int kMaxOptimalGapNodes = 4096;
+constexpr std::size_t kMaxOptimalGapTableBytes = 1'200'000'000;
+
+Cost optimal_cost_for(const Trace& trace, int k) {
+  if (trace.n > kMaxOptimalGapNodes)
+    throw TreeError("--optimal-gap supports n <= " +
+                    std::to_string(kMaxOptimalGapNodes) + " (got n = " +
+                    std::to_string(trace.n) + ")");
+  const std::size_t tables = static_cast<std::size_t>(std::max(2, 3 * k - 5));
+  const std::size_t cells =
+      static_cast<std::size_t>(trace.n) * (trace.n + 1) / 2;
+  if (tables * cells * sizeof(Cost) > kMaxOptimalGapTableBytes)
+    throw TreeError(
+        "--optimal-gap: DP tables for n = " + std::to_string(trace.n) +
+        ", k = " + std::to_string(k) + " would exceed " +
+        std::to_string(kMaxOptimalGapTableBytes / 1'000'000) +
+        " MB; lower n or k");
+  DemandMatrix d = DemandMatrix::from_trace(trace);
+  return optimal_routing_based_cost(k, d, 0);
+}
 
 [[noreturn]] void usage(const char* argv0) {
   std::cerr
@@ -72,12 +103,15 @@ struct Options {
          "          [--n N] [--requests M] [--seed S] [--csv]\n"
          "          [--shards S] [--partition contiguous|hash]\n"
          "          [--rebalance none|hotpair|watermark] [--epoch N]\n"
+         "          [--optimal-gap]\n"
          "          [--dump-tree FILE.dot] [--dump-trace FILE]\n"
          "workloads: uniform temporal025 temporal05 temporal075 temporal09\n"
          "           hpc projector facebook elephants rotating\n"
          "topologies: ksplay semisplay centroid binary full optimal\n"
          "--shards > 1 runs ksplay/semisplay shards under a static top tree\n"
-         "--rebalance adds adaptive migration epochs (needs --shards > 1)\n";
+         "--rebalance adds adaptive migration epochs (needs --shards > 1)\n"
+         "--optimal-gap adds online-cost / optimal-static-cost rows (exact\n"
+         "  Theorem 2 DP on the trace's demand matrix; n <= 4096)\n";
   std::exit(2);
 }
 
@@ -109,6 +143,7 @@ Options parse(int argc, char** argv) {
     else if (arg == "--dump-tree") o.dump_tree = next();
     else if (arg == "--dump-trace") o.dump_trace = next();
     else if (arg == "--csv") o.csv = true;
+    else if (arg == "--optimal-gap") o.optimal_gap = true;
     else usage(argv[0]);
   }
   return o;
@@ -145,7 +180,11 @@ RebalancePolicy parse_rebalance(const std::string& name) {
   throw TreeError("unknown rebalance policy: " + name);
 }
 
-AnyNetwork make_network(const Options& o, const Trace& trace) {
+// `opt_cost` receives the DP value when this factory already computed it
+// (the "optimal" topology), so --optimal-gap does not re-run the O(n^3 k)
+// forward pass a second time just to print the ratio 1.000.
+AnyNetwork make_network(const Options& o, const Trace& trace,
+                        std::optional<Cost>& opt_cost) {
   const int n = trace.n;
   const SplayMode mode = o.topology == "semisplay"
                              ? SplayMode::kSemiSplayOnly
@@ -167,8 +206,9 @@ AnyNetwork make_network(const Options& o, const Trace& trace) {
     return StaticTreeNetwork(full_kary_tree(o.k, n), "full tree");
   if (o.topology == "optimal") {
     DemandMatrix d = DemandMatrix::from_trace(trace);
-    return StaticTreeNetwork(optimal_routing_based_tree(o.k, d, 0).tree,
-                             "optimal static tree");
+    OptimalTreeResult r = optimal_routing_based_tree(o.k, d, 0);
+    opt_cost = r.total_distance;
+    return StaticTreeNetwork(std::move(r.tree), "optimal static tree");
   }
   throw TreeError("unknown topology: " + o.topology);
 }
@@ -199,7 +239,8 @@ int main(int argc, char** argv) {
       throw TreeError("--rebalance needs --shards > 1");
     if (rebalance != RebalancePolicy::kNone && o.epoch == 0)
       throw TreeError("--rebalance needs --epoch > 0");
-    AnyNetwork net = make_network(o, trace);
+    std::optional<Cost> precomputed_opt;
+    AnyNetwork net = make_network(o, trace, precomputed_opt);
 
     Table out({"metric", "value"});
     out.add_row({"network", net.name()});
@@ -232,6 +273,15 @@ int main(int argc, char** argv) {
       out.add_row({"shard load imbalance",
                    fixed_cell(compute_shard_stats(trace, sharded.map())
                                   .load_imbalance())});
+      if (o.optimal_gap) {
+        const Cost opt = optimal_cost_for(trace, o.k);
+        out.add_row({"optimal static cost", std::to_string(opt)});
+        out.add_row(
+            {"optimality gap (grand total / optimal)",
+             opt > 0 ? fixed_cell(
+                           static_cast<double>(res.grand_total_cost()) / opt)
+                     : std::string("-")});
+      }
       if (o.csv)
         std::cout << out.to_csv();
       else
@@ -267,6 +317,22 @@ int main(int argc, char** argv) {
                    std::to_string(sharded->cross_shard_served())});
       out.add_row({"intra-shard fraction", fixed_cell(ss.intra_fraction())});
       out.add_row({"shard load imbalance", fixed_cell(ss.load_imbalance())});
+    }
+    if (o.optimal_gap) {
+      // Gap of the served cost (routing + rotations, the paper's cost
+      // convention) against the hindsight-optimal static k-ary tree for
+      // this exact trace. The "optimal" topology serves at gap 1.000 by
+      // construction; self-adjusting networks show their adjustment
+      // overhead, sharded engines additionally pay the top-tree detour.
+      const int gap_k = o.topology == "binary" ? 2 : o.k;
+      const Cost opt =
+          precomputed_opt ? *precomputed_opt : optimal_cost_for(trace, gap_k);
+      out.add_row({"optimal static cost", std::to_string(opt)});
+      out.add_row(
+          {"optimality gap (online / optimal)",
+           opt > 0
+               ? fixed_cell(static_cast<double>(routing + rotations) / opt)
+               : std::string("-")});
     }
     if (o.csv)
       std::cout << out.to_csv();

@@ -7,10 +7,39 @@
 // boundary (the potential of the edge to its future parent). The t = 1
 // transition picks the root r and the number of children on each side
 // (dl + dr <= k) using the prefix-minimum table dp2[t] = min_{y<=t} dp[y],
-// which removes a factor k and yields O(n^3 k) time and O(n^2 k) memory.
-// Segments of equal length are independent, so each length-diagonal is
-// one parallel_for round on the persistent Executor pool — n rounds per
-// tree, which is exactly the fork/join pattern the pool exists for.
+// which removes a factor k and yields O(n^3 k) time.
+//
+// Two implementations share this interface:
+//
+//  * optimal_routing_based_tree / optimal_routing_based_cost — the flat
+//    cache-blocked engine. Packed-triangular diagonal tables kept in both
+//    row-major and transposed (column-major) mirrors so every inner scan
+//    is a contiguous branchless min-plus sweep the compiler vectorizes;
+//    the structurally dead t = k layer is dropped (dp2 is only ever read
+//    at indices <= k-1 and tails at t-1 <= k-2, see optimal_dp.cpp); the
+//    O(n^2 k) argmin/choice tables are gone entirely — reconstruction
+//    re-derives each visited cell's argmin from the retained cost tables
+//    with the original scan order, so the produced tree is bit-identical
+//    to the reference. Length-diagonals are independent and dispatched as
+//    work-gated rounds on the persistent Executor pool.
+//
+//  * optimal_routing_based_tree_reference — the original per-length
+//    vector-of-vectors implementation, kept as the differential oracle
+//    (tests/test_dp_exhaustive.cpp, bench/dp_differential.cpp). Setting
+//    the environment variable SAN_DP_REFERENCE=1 routes the public entry
+//    points through it at runtime.
+//
+// A note on what the rewrite deliberately does NOT do: Knuth/Yao
+// quadrangle-inequality root pruning (restricting the root scan of [i, j]
+// to [root(i, j-1), root(i+1, j)]) is UNSOUND for this cost model and is
+// not used. The classic optimality proof needs the per-segment weight to
+// satisfy the quadrangle inequality and interval monotonicity; W[i, j]
+// here is the demand CROSSING the segment boundary, which is submodular
+// (the reverse inequality: concentrated demand between distant endpoints
+// makes a larger segment cheaper than its parts) and non-monotone
+// (W[1, n] = 0). Optimal roots consequently jump outward, not inward.
+// DpPruning.KnuthWindowUnsoundForCrossingDemand locks a concrete
+// counterexample where the windowed DP returns a strictly worse cost.
 #pragma once
 
 #include "core/karytree.hpp"
@@ -27,5 +56,22 @@ struct OptimalTreeResult {
 /// demand `D`. `threads` = 0 uses all hardware threads.
 OptimalTreeResult optimal_routing_based_tree(int k, const DemandMatrix& D,
                                              int threads = 0);
+
+/// Cost of the optimal tree without materializing it: skips the
+/// reconstruction pass (the forward tables are identical — the recurrence
+/// reads every shorter prefix/suffix cell, so its live state is
+/// inherently O(n^2 k); what this entry point saves over the reference is
+/// the choice tables and the dead layer, roughly 2.4x at k = 10 and 8.9x
+/// at k = 2 per cell). Used by the optimality-gap reporting paths where
+/// only the ratio matters.
+Cost optimal_routing_based_cost(int k, const DemandMatrix& D,
+                                int threads = 0);
+
+/// The pre-rewrite implementation, kept as the differential oracle; see
+/// the file comment. Also reachable through the public entry points with
+/// SAN_DP_REFERENCE=1 in the environment.
+OptimalTreeResult optimal_routing_based_tree_reference(int k,
+                                                       const DemandMatrix& D,
+                                                       int threads = 0);
 
 }  // namespace san

@@ -9,6 +9,21 @@
 namespace san {
 namespace {
 
+// Same recurrence as the seed implementation, restructured the way the
+// general DP was (optimal_dp.cpp): the partition rows range only over
+// their feasible region (p[t-1][l-a] is finite whenever l-a >= t-1, so no
+// sentinel checks survive in the inner loop — it is a branchless min-plus
+// sweep the compiler vectorizes), and the O(n k) argmin tables (split,
+// cnt, kids_of) are gone — rebuild() re-derives each visited chain's
+// argmin from the retained cost rows with the original scan order, so the
+// reconstructed shape is unchanged. optimal_uniform_cost never pays for
+// argmin bookkeeping at all.
+//
+// Note: a "monotone sweep" over the row scans (Knuth-style argmin
+// windows) would NOT be exact here — the argmin of p[t][l] is not
+// monotone in l for this cost family (first subtree costs carry the
+// global l*(n-l) potential term); see the DpPruning counterexample test
+// for the general-DP analogue.
 struct UniformDp {
   int k, n;
   // U1[l]: optimal cost of a single subtree on l nodes, including the
@@ -17,30 +32,17 @@ struct UniformDp {
   // P[t][m]: optimal cost of exactly t non-empty subtrees totalling m
   // nodes; P2[t][m] = min over <= t parts (P2[.][0] = 0).
   std::vector<std::vector<Cost>> p, p2;
-  std::vector<std::vector<int>> split;        // argmin head size for P[t][m]
-  std::vector<std::vector<signed char>> cnt;  // argmin part count for P2
-  std::vector<signed char> kids_of;           // part count under U1[l]
 
   UniformDp(int k_in, int n_in, int threads) : k(k_in), n(n_in) {
     u1.assign(static_cast<size_t>(n) + 1, kInfiniteCost);
     p.assign(static_cast<size_t>(k) + 1,
              std::vector<Cost>(static_cast<size_t>(n) + 1, kInfiniteCost));
     p2 = p;
-    split.assign(static_cast<size_t>(k) + 1,
-                 std::vector<int>(static_cast<size_t>(n) + 1, -1));
-    cnt.assign(static_cast<size_t>(k) + 1,
-               std::vector<signed char>(static_cast<size_t>(n) + 1, -1));
-    kids_of.assign(static_cast<size_t>(n) + 1, 0);
-    for (int t = 0; t <= k; ++t) {
-      p2[static_cast<size_t>(t)][0] = 0;
-      cnt[static_cast<size_t>(t)][0] = 0;
-    }
+    for (int t = 0; t <= k; ++t) p2[static_cast<size_t>(t)][0] = 0;
 
     for (int l = 1; l <= n; ++l) {
       const Cost above = static_cast<Cost>(l) * (n - l);
       u1[static_cast<size_t>(l)] = above + p2[static_cast<size_t>(k)][l - 1];
-      kids_of[static_cast<size_t>(l)] = cnt[static_cast<size_t>(k)][l - 1];
-
       p[1][static_cast<size_t>(l)] = u1[static_cast<size_t>(l)];
       // For a fixed l every t-row only reads u1 and p[t-1] at lengths
       // < l, so the t = 2..k transitions are independent of each other.
@@ -50,40 +52,54 @@ struct UniformDp {
       const int row_threads = (l >= 2048 && k >= 4) ? threads : 1;
       parallel_for(2, static_cast<long>(k) + 1, row_threads, [&](long tl) {
         const int t = static_cast<int>(tl);
+        if (l < t) return;  // p[t][l] stays infinite: no t-part partition
+        const Cost* head = u1.data();
+        const Cost* tail = p[static_cast<size_t>(t - 1)].data();
         Cost best = kInfiniteCost;
-        int best_a = -1;
-        for (int a = 1; a <= l - (t - 1); ++a) {
-          const Cost tail = p[static_cast<size_t>(t - 1)][l - a];
-          if (tail >= kInfiniteCost) continue;
-          const Cost cand = u1[static_cast<size_t>(a)] + tail;
-          if (cand < best) {
-            best = cand;
-            best_a = a;
-          }
-        }
+        for (int a = 1; a <= l - (t - 1); ++a)
+          best = std::min(best, head[a] + tail[l - a]);
         p[static_cast<size_t>(t)][static_cast<size_t>(l)] = best;
-        split[static_cast<size_t>(t)][static_cast<size_t>(l)] = best_a;
       });
       Cost run = kInfiniteCost;
-      signed char argmin = -1;
       for (int t = 1; t <= k; ++t) {
-        if (p[static_cast<size_t>(t)][static_cast<size_t>(l)] < run) {
-          run = p[static_cast<size_t>(t)][static_cast<size_t>(l)];
-          argmin = static_cast<signed char>(t);
-        }
+        run = std::min(run, p[static_cast<size_t>(t)][static_cast<size_t>(l)]);
         p2[static_cast<size_t>(t)][static_cast<size_t>(l)] = run;
-        cnt[static_cast<size_t>(t)][static_cast<size_t>(l)] = argmin;
       }
     }
+  }
+
+  // First t with p[t][m] at the prefix minimum — identical to the seed
+  // implementation's cnt[k][m] argmin (first strict improvement over t).
+  int count_of(int m) const {
+    const Cost target = p2[static_cast<size_t>(k)][static_cast<size_t>(m)];
+    for (int t = 1; t < k; ++t)
+      if (p[static_cast<size_t>(t)][static_cast<size_t>(m)] == target)
+        return t;
+    return k;
+  }
+
+  // First-min argmin head size of P[t][m], replicating the seed scan.
+  int split_of(int t, int m) const {
+    Cost best = kInfiniteCost;
+    int best_a = -1;
+    for (int a = 1; a <= m - (t - 1); ++a) {
+      const Cost cand =
+          u1[static_cast<size_t>(a)] + p[static_cast<size_t>(t - 1)][m - a];
+      if (cand < best) {
+        best = cand;
+        best_a = a;
+      }
+    }
+    return best_a;
   }
 
   Shape rebuild(int l) const {
     Shape s;
     s.size = l;
     int m = l - 1;
-    int t = kids_of[static_cast<size_t>(l)];
+    int t = (m == 0) ? 0 : count_of(m);
     while (t > 1) {
-      const int a = split[static_cast<size_t>(t)][static_cast<size_t>(m)];
+      const int a = split_of(t, m);
       s.kids.push_back(rebuild(a));
       m -= a;
       --t;

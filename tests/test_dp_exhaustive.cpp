@@ -7,8 +7,11 @@
 // one pass, with no shared code path between the two answers.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstdint>
 #include <functional>
 #include <random>
+#include <utility>
 
 #include "core/shape.hpp"
 #include "static_trees/optimal_dp.hpp"
@@ -123,6 +126,126 @@ TEST(DpExhaustive, UniformDemandSmall) {
       EXPECT_EQ(optimal_routing_based_tree(k, d, 1).total_distance, brute);
     }
   }
+}
+
+// ---------------------------------------------------------------------------
+// Differential wall: the flat cache-blocked engine against the pre-rewrite
+// reference oracle (optimal_dp_reference.cpp, also reachable at runtime via
+// SAN_DP_REFERENCE=1). The engine re-derives reconstruction argmins with the
+// reference's exact scan order, so the comparison is stronger than the cost:
+// parent array and child slots must match node for node.
+
+DemandMatrix random_demand(int n, std::mt19937_64& rng) {
+  DemandMatrix d(n);
+  const int pairs = 1 + static_cast<int>(rng() % (3 * n));
+  for (int t = 0; t < pairs; ++t) {
+    NodeId u = 1 + static_cast<NodeId>(rng() % n);
+    NodeId v = 1 + static_cast<NodeId>(rng() % n);
+    if (u != v) d.add(u, v, 1 + static_cast<Cost>(rng() % 97));
+  }
+  return d;
+}
+
+TEST(DpDifferential, FlatEngineMatchesReferenceOracle) {
+  int seeds = 0;
+  for (std::uint64_t seed = 1; seed <= 50; ++seed) {
+    for (int k : {2, 3, 5, 10}) {
+      std::mt19937_64 rng(seed * 7919 + static_cast<std::uint64_t>(k));
+      const int n = 2 + static_cast<int>(rng() % 47);  // 2..48
+      const DemandMatrix d = random_demand(n, rng);
+      const OptimalTreeResult fast = optimal_routing_based_tree(k, d, 1);
+      const OptimalTreeResult ref =
+          optimal_routing_based_tree_reference(k, d, 1);
+      ASSERT_EQ(fast.total_distance, ref.total_distance)
+          << "seed=" << seed << " k=" << k << " n=" << n;
+      EXPECT_EQ(optimal_routing_based_cost(k, d, 1), ref.total_distance);
+      ASSERT_TRUE(fast.tree.valid()) << "seed=" << seed << " k=" << k;
+      EXPECT_EQ(d.total_distance(fast.tree), fast.total_distance)
+          << "seed=" << seed << " k=" << k << " n=" << n;
+      for (NodeId u = 1; u <= n; ++u) {
+        ASSERT_EQ(fast.tree.parent(u), ref.tree.parent(u))
+            << "seed=" << seed << " k=" << k << " n=" << n << " node=" << u;
+        if (fast.tree.parent(u) != kNoNode)
+          ASSERT_EQ(fast.tree.slot_in_parent(u), ref.tree.slot_in_parent(u))
+              << "seed=" << seed << " k=" << k << " n=" << n << " node=" << u;
+      }
+      ++seeds;
+    }
+  }
+  EXPECT_GE(seeds, 200);
+}
+
+TEST(DpDifferential, ThreadedEngineMatchesReference) {
+  // The wavefront dispatch must not change any cost cell: pure min
+  // computations are order-independent, but this is the test that keeps
+  // it that way.
+  for (std::uint64_t seed : {3u, 17u}) {
+    for (int k : {2, 5}) {
+      std::mt19937_64 rng(seed);
+      const DemandMatrix d = random_demand(40, rng);
+      const OptimalTreeResult ref =
+          optimal_routing_based_tree_reference(k, d, 1);
+      EXPECT_EQ(optimal_routing_based_tree(k, d, 4).total_distance,
+                ref.total_distance);
+      EXPECT_EQ(optimal_routing_based_cost(k, d, 4), ref.total_distance);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Why the engine has no Knuth/quadrangle-inequality pruning. The classic
+// window root(i, j-1) <= root(i, j) <= root(i+1, j) is only valid when the
+// per-segment weight satisfies the quadrangle inequality and interval
+// monotonicity. W here is the demand CROSSING the segment boundary, which
+// is submodular — the REVERSE inequality (a pair spanning two crossing
+// segments is counted by both but by neither their union nor their
+// intersection) — and non-monotone (W[1, n] = 0). Demand between distant
+// endpoints pushes optimal roots outward to the segment edges, so windows
+// bracketed by subproblem roots exclude true optima. This test locks a
+// four-node counterexample where a full windowed DP (windows taken from
+// its own subproblem roots, exactly as a Knuth implementation would) is
+// strictly worse: 68 vs the true 47.
+TEST(DpPruning, KnuthWindowUnsoundForCrossingDemand) {
+  const int n = 4;
+  DemandMatrix d(n);
+  d.add(1, 4, 21);
+  d.add(2, 4, 26);
+  // Optimum (cost 47 = 21*2 + 5): e.g. root 4 with child 2, grandchildren
+  // 1 and 3 — distance(1,4) = 2, distance(2,4) = 1. Both engines and the
+  // cost-only entry agree.
+  EXPECT_EQ(optimal_routing_based_tree(2, d, 1).total_distance, 47);
+  EXPECT_EQ(optimal_routing_based_tree_reference(2, d, 1).total_distance, 47);
+  EXPECT_EQ(optimal_routing_based_cost(2, d, 1), 47);
+
+  // Windowed binary DP replica (k = 2 collapses the general recurrence to
+  // c(i,j) = W(i,j) + min_r c(i,r-1) + c(r+1,j)).
+  Cost c[n + 2][n + 2] = {};
+  int root[n + 2][n + 2] = {};
+  auto cc = [&](int i, int j) { return i > j ? Cost{0} : c[i][j]; };
+  for (int len = 1; len <= n; ++len) {
+    for (int i = 1; i + len - 1 <= n; ++i) {
+      const int j = i + len - 1;
+      int lo = i, hi = j;
+      if (len >= 2) {
+        lo = std::max(i, root[i][j - 1]);
+        hi = std::min(j, root[i + 1][j]);
+        if (hi < lo) std::swap(lo, hi);
+      }
+      Cost best = kInfiniteCost;
+      int best_r = -1;
+      for (int r = lo; r <= hi; ++r) {
+        const Cost cand = d.boundary(i, j) + cc(i, r - 1) + cc(r + 1, j);
+        if (cand < best) {
+          best = cand;
+          best_r = r;
+        }
+      }
+      c[i][j] = best;
+      root[i][j] = best_r;
+    }
+  }
+  EXPECT_EQ(c[1][n], 68);  // strictly worse than the true optimum
+  EXPECT_GT(c[1][n], Cost{47});
 }
 
 }  // namespace

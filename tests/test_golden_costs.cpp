@@ -206,6 +206,44 @@ bool print_mode() {
   return env != nullptr && env[0] == '1';
 }
 
+// Theorem 2 DP values at n = 512 — unreachable in test time before the
+// flat cache-blocked engine (PR 5); the reference implementation alone
+// would make this the slowest test in the wall. Locks the big-instance
+// cost path (packed-triangular indexing at sizes where size_t arithmetic
+// matters) the same way kGoldens locks the serve path. Regenerate with
+// SAN_PRINT_GOLDENS=1 after an intentional semantic change only.
+struct DpGolden {
+  WorkloadKind kind;
+  int k;
+  Cost cost;
+};
+
+constexpr int kDpN = 512;
+constexpr std::size_t kDpM = 20000;
+
+const DpGolden kDpGoldens[] = {
+    {WorkloadKind::kTemporal05, 2, 228374},
+    {WorkloadKind::kTemporal05, 5, 127041},
+    {WorkloadKind::kHpc, 3, 85557},
+    {WorkloadKind::kFacebook, 10, 45384},
+};
+
+TEST(GoldenCosts, OptimalDpCostAtN512) {
+  for (const DpGolden& g : kDpGoldens) {
+    const Trace trace = gen_workload(g.kind, kDpN, kDpM, kSeed);
+    ASSERT_EQ(trace.n, kDpN);
+    const DemandMatrix d = DemandMatrix::from_trace(trace);
+    const Cost got = optimal_routing_based_cost(g.k, d, 1);
+    if (print_mode()) {
+      std::printf("    // %s k=%d -> %lld\n", workload_name(g.kind), g.k,
+                  static_cast<long long>(got));
+      continue;
+    }
+    EXPECT_EQ(got, g.cost) << workload_name(g.kind) << " k=" << g.k;
+  }
+  if (print_mode()) GTEST_SKIP() << "printed n=512 DP golden rows";
+}
+
 TEST(GoldenCosts, EveryNetworkOnEveryWorkload) {
   std::vector<Golden> measured;
   for (WorkloadKind kind : kKinds) {

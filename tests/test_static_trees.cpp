@@ -225,6 +225,27 @@ TEST(OptimalDp, ThreadedAndSerialAgree) {
   EXPECT_EQ(serial, threaded);
 }
 
+TEST(OptimalDp, CostOnlyEntryMatchesTreeEntry) {
+  // optimal_routing_based_cost shares the forward tables with the tree
+  // entry point and must return exactly the reconstructed tree's value.
+  std::mt19937_64 rng(59);
+  for (int k : {2, 4, 8}) {
+    for (int n : {1, 3, 21, 44}) {
+      DemandMatrix d(n);
+      for (int t = 0; t < 3 * n; ++t) {
+        NodeId u = 1 + static_cast<NodeId>(rng() % n);
+        NodeId v = 1 + static_cast<NodeId>(rng() % n);
+        if (u != v) d.add(u, v, 1 + static_cast<Cost>(rng() % 6));
+      }
+      const OptimalTreeResult r = optimal_routing_based_tree(k, d, 1);
+      EXPECT_EQ(optimal_routing_based_cost(k, d, 1), r.total_distance)
+          << "k=" << k << " n=" << n;
+      EXPECT_EQ(optimal_routing_based_cost(k, d, 2), r.total_distance)
+          << "k=" << k << " n=" << n << " (threaded)";
+    }
+  }
+}
+
 TEST(OptimalDp, ConcentratedDemandYieldsAdjacency) {
   // All demand on one pair: the optimal tree must place them at distance 1.
   DemandMatrix d(10);
