@@ -19,6 +19,13 @@
 // none|hotpair|watermark turns on adaptive rebalancing epochs over the
 // batched pipeline (--epoch N requests per epoch, drift trigger), with
 // migration counters in the summary.
+// Serving mode: --open-loop feeds the trace through the live frontend
+// (sim/serve_frontend.hpp) at a timed arrival schedule instead of
+// replaying it closed-loop: --arrival poisson|bursty|saturation,
+// --rate R requests/s, --duration T seconds (T > 0 sizes the trace as
+// R*T requests, overriding --requests). Needs ksplay/semisplay; composes
+// with --shards and --rebalance, and reports offered/achieved rate plus
+// sojourn-latency p50/p99/p999/max in microseconds.
 // Output: one summary table (mean / p50 / p99 / max per-request cost,
 // rotation and link-change totals) and optional CSV / dot dumps. The
 // rebalancing path serves through the batched drain, so per-request
@@ -36,11 +43,13 @@
 #include "io/trace_io.hpp"
 #include "io/tree_io.hpp"
 #include "sim/any_network.hpp"
+#include "sim/serve_frontend.hpp"
 #include "sim/simulator.hpp"
 #include "static_trees/full_tree.hpp"
 #include "static_trees/optimal_dp.hpp"
 #include "stats/series.hpp"
 #include "stats/table.hpp"
+#include "workload/arrival.hpp"
 #include "workload/demand_matrix.hpp"
 #include "workload/generators.hpp"
 #include "workload/partition.hpp"
@@ -62,6 +71,10 @@ struct Options {
   std::size_t epoch = 5000;
   std::size_t requests = 100000;
   std::uint64_t seed = 1;
+  bool open_loop = false;
+  std::string arrival = "poisson";
+  double rate = 1e6;      // requests per second of the arrival schedule
+  double duration = 0.0;  // seconds; > 0 sizes the trace as rate * duration
   std::string dump_tree;   // dot output path
   std::string dump_trace;  // san-trace output path
   bool csv = false;
@@ -103,6 +116,8 @@ Cost optimal_cost_for(const Trace& trace, int k) {
          "          [--n N] [--requests M] [--seed S] [--csv]\n"
          "          [--shards S] [--partition contiguous|hash]\n"
          "          [--rebalance none|hotpair|watermark] [--epoch N]\n"
+         "          [--open-loop] [--arrival poisson|bursty|saturation]\n"
+         "          [--rate R] [--duration T]\n"
          "          [--optimal-gap]\n"
          "          [--dump-tree FILE.dot] [--dump-trace FILE]\n"
          "workloads: uniform temporal025 temporal05 temporal075 temporal09\n"
@@ -110,6 +125,9 @@ Cost optimal_cost_for(const Trace& trace, int k) {
          "topologies: ksplay semisplay centroid binary full optimal\n"
          "--shards > 1 runs ksplay/semisplay shards under a static top tree\n"
          "--rebalance adds adaptive migration epochs (needs --shards > 1)\n"
+         "--open-loop serves through the live frontend at --rate req/s for\n"
+         "  --duration seconds (ksplay/semisplay; composes with --shards\n"
+         "  and --rebalance; reports sojourn p50/p99/p999 in us)\n"
          "--optimal-gap adds online-cost / optimal-static-cost rows (exact\n"
          "  Theorem 2 DP on the trace's demand matrix; n <= 4096)\n";
   std::exit(2);
@@ -140,6 +158,10 @@ Options parse(int argc, char** argv) {
     }
     else if (arg == "--requests") o.requests = std::stoull(next());
     else if (arg == "--seed") o.seed = std::stoull(next());
+    else if (arg == "--open-loop") o.open_loop = true;
+    else if (arg == "--arrival") o.arrival = next();
+    else if (arg == "--rate") o.rate = std::stod(next());
+    else if (arg == "--duration") o.duration = std::stod(next());
     else if (arg == "--dump-tree") o.dump_tree = next();
     else if (arg == "--dump-trace") o.dump_trace = next();
     else if (arg == "--csv") o.csv = true;
@@ -171,6 +193,13 @@ ShardPartition parse_partition(const std::string& name) {
   if (name == "contiguous") return ShardPartition::kContiguous;
   if (name == "hash") return ShardPartition::kHash;
   throw TreeError("unknown partition policy: " + name);
+}
+
+ArrivalKind parse_arrival(const std::string& name) {
+  if (name == "poisson") return ArrivalKind::kPoisson;
+  if (name == "bursty") return ArrivalKind::kBursty;
+  if (name == "saturation") return ArrivalKind::kSaturation;
+  throw TreeError("unknown arrival process: " + name);
 }
 
 RebalancePolicy parse_rebalance(const std::string& name) {
@@ -227,6 +256,14 @@ int main(int argc, char** argv) {
   Options o;
   try {
     o = parse(argc, argv);
+    const ArrivalKind arrival = parse_arrival(o.arrival);
+    if (o.open_loop && o.duration > 0.0) {
+      if (arrival == ArrivalKind::kSaturation)
+        throw TreeError("--duration needs --arrival poisson|bursty");
+      if (o.rate <= 0.0) throw TreeError("--open-loop needs --rate > 0");
+      o.requests = static_cast<std::size_t>(o.rate * o.duration);
+      if (o.requests == 0) throw TreeError("--rate * --duration rounds to 0");
+    }
     Trace trace = o.trace_path.empty()
                       ? gen_workload(parse_workload(o.workload), o.n,
                                      o.requests, o.seed)
@@ -239,6 +276,62 @@ int main(int argc, char** argv) {
       throw TreeError("--rebalance needs --shards > 1");
     if (rebalance != RebalancePolicy::kNone && o.epoch == 0)
       throw TreeError("--rebalance needs --epoch > 0");
+    if (o.open_loop) {
+      // Live serving path: ServeFrontend over a ShardedNetwork (S = 1 is
+      // the single-worker degenerate case with identical costs).
+      if (o.topology != "ksplay" && o.topology != "semisplay")
+        throw TreeError("--open-loop requires a ksplay or semisplay topology");
+      const SplayMode mode = o.topology == "semisplay"
+                                 ? SplayMode::kSemiSplayOnly
+                                 : SplayMode::kFullSplay;
+      ShardedNetwork net = ShardedNetwork::balanced(
+          o.k, trace.n, std::max(1, o.shards), parse_partition(o.partition),
+          RotationPolicy{}, mode);
+      RebalanceConfig cfg;
+      cfg.policy = rebalance;
+      cfg.epoch_requests = o.epoch;
+      FrontendOptions fopt;
+      if (rebalance != RebalancePolicy::kNone) fopt.rebalance = &cfg;
+      const auto arrivals = gen_arrival_times(
+          arrival, arrival == ArrivalKind::kSaturation ? 0.0 : o.rate,
+          trace.size(), o.seed);
+      ServeFrontend frontend(net, fopt);
+      const FrontendResult r = frontend.run(trace, arrivals);
+
+      Table out({"metric", "value"});
+      out.add_row({"network", net.name() + " (open-loop)"});
+      out.add_row({"nodes", std::to_string(trace.n)});
+      out.add_row({"requests", std::to_string(trace.size())});
+      out.add_row({"arrival process", arrival_kind_name(arrival)});
+      out.add_row({"offered rate (req/s)", fixed_cell(r.offered_rate)});
+      out.add_row({"achieved rate (req/s)", fixed_cell(r.achieved_rate)});
+      out.add_row({"elapsed (s)", fixed_cell(r.elapsed_seconds)});
+      out.add_row({"sojourn p50 (us)", fixed_cell(r.sim.latency.p50_us)});
+      out.add_row({"sojourn p99 (us)", fixed_cell(r.sim.latency.p99_us)});
+      out.add_row({"sojourn p999 (us)", fixed_cell(r.sim.latency.p999_us)});
+      out.add_row({"sojourn max (us)", fixed_cell(r.sim.latency.max_us)});
+      out.add_row({"queue wait p99 (us)",
+                   fixed_cell(static_cast<double>(r.queue_wait.p99()) / 1e3)});
+      out.add_row({"mean cost/request", fixed_cell(r.sim.avg_request_cost())});
+      out.add_row({"total routing", std::to_string(r.sim.routing_cost)});
+      out.add_row({"total rotations", std::to_string(r.sim.rotation_count)});
+      out.add_row({"cross-shard requests", std::to_string(r.sim.cross_shard)});
+      out.add_row({"handovers", std::to_string(r.handovers)});
+      if (rebalance != RebalancePolicy::kNone) {
+        out.add_row({"rebalance epochs", std::to_string(r.sim.rebalance_epochs)});
+        out.add_row({"migrations", std::to_string(r.sim.migrations)});
+        out.add_row({"migration cost", std::to_string(r.sim.migration_cost)});
+        out.add_row({"forwards", std::to_string(r.forwards)});
+        out.add_row({"final intra-shard fraction",
+                     fixed_cell(r.sim.post_intra_fraction)});
+      }
+      if (o.csv)
+        std::cout << out.to_csv();
+      else
+        out.print();
+      return 0;
+    }
+
     std::optional<Cost> precomputed_opt;
     AnyNetwork net = make_network(o, trace, precomputed_opt);
 

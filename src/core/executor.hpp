@@ -39,6 +39,15 @@ class Executor {
   /// parallel round and joined at static destruction.
   static Executor& instance();
 
+  /// An owned pool with the same contract as instance(). Almost all code
+  /// should go through instance() (or parallel_for) and share the one
+  /// process pool; owned pools exist so shutdown — destruction racing
+  /// workers that are still waking from the last posted round — is
+  /// testable without tearing down the shared singleton. Destruction
+  /// while a for_range on this pool is still running is undefined; join
+  /// your callers first.
+  Executor();
+
   Executor(const Executor&) = delete;
   Executor& operator=(const Executor&) = delete;
 
@@ -67,7 +76,6 @@ class Executor {
   ~Executor();
 
  private:
-  Executor();
   struct Impl;
   Impl* impl_;
 };

@@ -1,0 +1,363 @@
+#include "sim/serve_frontend.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "workload/rebalance.hpp"
+
+namespace san {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// One queued operation, in global ids (local ids are resolved on
+/// admission so queued items survive migrations).
+struct QueueItem {
+  NodeId src = kNoNode;
+  NodeId dst = kNoNode;          ///< kNoNode marks a handover second leg
+  std::uint64_t arrival_ns = 0;  ///< intended arrival (latency origin)
+  Cost pending_top = 0;          ///< top-tree legs accumulated so far
+
+  bool is_handover() const { return dst == kNoNode; }
+};
+
+/// Per-shard inbox: a bounded main queue (dispatcher -> worker) plus an
+/// unbounded mailbox (worker -> worker handovers). MPSC; one mutex and
+/// one wakeup per admitted *batch*, not per request.
+class ShardInbox {
+ public:
+  explicit ShardInbox(std::size_t capacity) : capacity_(capacity) {}
+
+  /// Dispatcher push; blocks while the main queue is full.
+  void push_main(const QueueItem& item) {
+    std::unique_lock<std::mutex> lock(mu_);
+    not_full_.wait(lock, [&] { return main_.size() < capacity_; });
+    const bool was_empty = main_.empty() && mail_.empty();
+    main_.push_back(item);
+    if (was_empty) not_empty_.notify_one();
+  }
+
+  /// Worker-to-worker handover push; never blocks (see FrontendOptions).
+  void push_mail(const QueueItem& item) {
+    std::lock_guard<std::mutex> lock(mu_);
+    const bool was_empty = main_.empty() && mail_.empty();
+    mail_.push_back(item);
+    if (was_empty) not_empty_.notify_one();
+  }
+
+  /// Admits up to `max_items` into `out`, mailbox first (handover ops are
+  /// half-served; finishing them first bounds cross-shard sojourn).
+  /// Blocks while empty; returns 0 only when closed and fully drained.
+  std::size_t pop_batch(std::vector<QueueItem>& out, std::size_t max_items) {
+    std::unique_lock<std::mutex> lock(mu_);
+    not_empty_.wait(lock,
+                    [&] { return closed_ || !mail_.empty() || !main_.empty(); });
+    std::size_t n = 0;
+    while (n < max_items && !mail_.empty()) {
+      out.push_back(mail_.front());
+      mail_.pop_front();
+      ++n;
+    }
+    bool popped_main = false;
+    while (n < max_items && !main_.empty()) {
+      out.push_back(main_.front());
+      main_.pop_front();
+      popped_main = true;
+      ++n;
+    }
+    if (popped_main) not_full_.notify_one();  // single dispatcher waits here
+    return n;
+  }
+
+  void close() {
+    std::lock_guard<std::mutex> lock(mu_);
+    closed_ = true;
+    not_empty_.notify_all();
+    not_full_.notify_all();
+  }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable not_empty_;
+  std::condition_variable not_full_;
+  std::deque<QueueItem> mail_;
+  std::deque<QueueItem> main_;
+  std::size_t capacity_;
+  bool closed_ = false;
+};
+
+/// Worker-owned accumulators. Written only by the owning worker thread;
+/// read by the dispatcher at quiesce barriers (ordered by the acquire
+/// load of `completed` against the workers' release increments) and after
+/// join. The trailing histograms make the struct large enough that
+/// neighbouring workers' hot counters do not share a cache line.
+struct WorkerState {
+  Cost routing = 0;
+  Cost rotations = 0;
+  Cost edges = 0;
+  /// Measured cross/intra split feeding the rebalancer's cost model
+  /// (ascents + top legs vs local serves), same convention as the batch
+  /// pipeline's ChunkSplit.
+  Cost ascent_cost = 0;
+  Cost intra_cost = 0;
+  std::size_t intra_requests = 0;
+  std::size_t cross_requests = 0;  ///< completed second legs
+  std::size_t handovers = 0;
+  std::size_t forwards = 0;
+  LatencyHistogram sojourn;
+  LatencyHistogram queue_wait;
+};
+
+}  // namespace
+
+ServeFrontend::ServeFrontend(ShardedNetwork& net, FrontendOptions opt)
+    : net_(net), opt_(opt) {
+  if (opt_.admission_batch < 1)
+    throw TreeError("ServeFrontend: admission_batch must be >= 1");
+  if (opt_.queue_capacity < 1)
+    throw TreeError("ServeFrontend: queue_capacity must be >= 1");
+}
+
+FrontendResult ServeFrontend::run(const Trace& trace,
+                                  std::span<const std::uint64_t> arrivals) {
+  if (arrivals.size() != trace.size())
+    throw TreeError("ServeFrontend::run: one arrival time per request");
+  const int S = net_.num_shards();
+  const std::size_t m = trace.size();
+
+  FrontendResult res;
+  res.sim.requests = m;
+  if (!arrivals.empty() && arrivals.back() > 0)
+    res.offered_rate = static_cast<double>(m) /
+                       (static_cast<double>(arrivals.back()) / 1e9);
+
+  std::vector<std::unique_ptr<ShardInbox>> inboxes;  // mutexes don't move
+  inboxes.reserve(static_cast<std::size_t>(S));
+  for (int s = 0; s < S; ++s)
+    inboxes.push_back(std::make_unique<ShardInbox>(opt_.queue_capacity));
+  std::vector<WorkerState> workers(static_cast<std::size_t>(S));
+  std::atomic<std::size_t> completed{0};
+
+  const Clock::time_point start = Clock::now();
+  auto now_ns = [&start] {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                             start)
+            .count());
+  };
+
+  // ---- shard-pinned workers -------------------------------------------
+  auto worker_loop = [&](int s) {
+    WorkerState& ws = workers[static_cast<std::size_t>(s)];
+    KArySplayNet& shard = net_.shard(s);
+    std::vector<QueueItem> batch;
+    batch.reserve(static_cast<std::size_t>(opt_.admission_batch));
+    for (;;) {
+      batch.clear();
+      if (inboxes[static_cast<std::size_t>(s)]->pop_batch(
+              batch, static_cast<std::size_t>(opt_.admission_batch)) == 0)
+        return;  // closed and drained
+      for (const QueueItem& item : batch) {
+        const ShardMap& map = net_.map();
+        if (item.is_handover()) {
+          // Second leg of a cross-shard request: ascend v, charge the
+          // accumulated top-tree legs, complete.
+          const int home = map.shard_of(item.src);
+          if (home != s) {  // lost a race with a migration: forward
+            QueueItem fwd = item;
+            fwd.pending_top += net_.top_distance(s, home);
+            ++ws.forwards;
+            inboxes[static_cast<std::size_t>(home)]->push_mail(fwd);
+            continue;
+          }
+          const ServeResult sr = shard.access(map.local_of(item.src));
+          ws.routing += sr.routing_cost + item.pending_top;
+          ws.rotations += sr.rotations;
+          ws.edges += sr.edge_changes;
+          ws.ascent_cost += sr.routing_cost +
+                            static_cast<Cost>(sr.rotations) + item.pending_top;
+          ++ws.cross_requests;
+          ws.sojourn.record(now_ns() - item.arrival_ns);
+          completed.fetch_add(1, std::memory_order_release);
+          continue;
+        }
+        const int a = map.shard_of(item.src);
+        if (a != s) {  // fresh item whose source migrated away meanwhile
+          ++ws.forwards;
+          inboxes[static_cast<std::size_t>(a)]->push_mail(item);
+          continue;
+        }
+        ws.queue_wait.record(now_ns() - item.arrival_ns);
+        const int b = map.shard_of(item.dst);
+        if (b == s) {
+          const ServeResult sr =
+              shard.serve(map.local_of(item.src), map.local_of(item.dst));
+          ws.routing += sr.routing_cost;
+          ws.rotations += sr.rotations;
+          ws.edges += sr.edge_changes;
+          ws.intra_cost += sr.routing_cost + static_cast<Cost>(sr.rotations);
+          ++ws.intra_requests;
+          ws.sojourn.record(now_ns() - item.arrival_ns);
+          completed.fetch_add(1, std::memory_order_release);
+        } else {
+          // First leg: ascend u to this shard's root, hand the request
+          // over to v's shard with the top-tree route priced in.
+          const ServeResult sr = shard.access(map.local_of(item.src));
+          ws.routing += sr.routing_cost;
+          ws.rotations += sr.rotations;
+          ws.edges += sr.edge_changes;
+          ws.ascent_cost += sr.routing_cost + static_cast<Cost>(sr.rotations);
+          ++ws.handovers;
+          QueueItem leg;
+          leg.src = item.dst;
+          leg.arrival_ns = item.arrival_ns;
+          leg.pending_top = net_.top_distance(s, b);
+          inboxes[static_cast<std::size_t>(b)]->push_mail(leg);
+        }
+      }
+    }
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(S));
+  for (int s = 0; s < S; ++s) threads.emplace_back(worker_loop, s);
+
+  // ---- open-loop dispatcher (caller thread) ---------------------------
+  const bool adaptive =
+      opt_.rebalance != nullptr && opt_.rebalance->enabled() && S > 1;
+  RebalanceState state(adaptive ? *opt_.rebalance : RebalanceConfig{});
+  const std::size_t epoch =
+      adaptive ? opt_.rebalance->epoch_requests : m + 1;
+  const RebalanceCostHints base_hints = net_.cost_hints();
+  const double decay = adaptive ? opt_.rebalance->window_decay : 1.0;
+  // Exponentially aged measured costs (same scheme as run_trace_sharded):
+  // deltas of the workers' cumulative counters between barriers.
+  double cross_cost_w = 0.0, intra_cost_w = 0.0;
+  double cross_reqs_w = 0.0, intra_reqs_w = 0.0;
+  Cost prev_ascent = 0, prev_intra_cost = 0;
+  std::size_t prev_cross = 0, prev_intra = 0;
+
+  auto quiesce = [&](std::size_t dispatched) {
+    while (completed.load(std::memory_order_acquire) < dispatched)
+      std::this_thread::yield();
+  };
+
+  std::size_t dispatched = 0;
+  std::size_t cross_dispatched = 0;
+  for (std::size_t i = 0; i < m; ++i) {
+    // Pace to the arrival schedule: sleep for coarse gaps, spin out the
+    // last stretch (sleep_until wakes late by scheduler quanta, which
+    // would throttle multi-million-req/s schedules).
+    const std::uint64_t due = arrivals[i];
+    if (due > 0) {
+      constexpr std::uint64_t kSpinWindowNs = 50'000;
+      std::uint64_t now = now_ns();
+      if (due > now + kSpinWindowNs)
+        std::this_thread::sleep_for(
+            std::chrono::nanoseconds(due - now - kSpinWindowNs));
+      while (now_ns() < due) {
+        // busy-wait: the dispatcher is the clock of the experiment
+      }
+    }
+    const Request& r = trace.requests[i];
+    const int a = net_.map().shard_of(r.src);
+    if (net_.map().shard_of(r.dst) != a) ++cross_dispatched;
+    QueueItem item;
+    item.src = r.src;
+    item.dst = r.dst;
+    item.arrival_ns = arrivals[i];
+    inboxes[static_cast<std::size_t>(a)]->push_main(item);
+    ++dispatched;
+    if (adaptive) {
+      state.observe(r, net_.map());
+      if (dispatched % epoch == 0 && dispatched < m) {
+        // Epoch barrier: drain the pipeline, measure, plan, apply. The
+        // dispatcher keeps the arrival clock running, so this pause is
+        // charged to every request that arrives during it.
+        quiesce(dispatched);
+        Cost ascent = 0, intra_c = 0;
+        std::size_t crossn = 0, intran = 0;
+        for (const WorkerState& ws : workers) {
+          ascent += ws.ascent_cost;
+          intra_c += ws.intra_cost;
+          crossn += ws.cross_requests;
+          intran += ws.intra_requests;
+        }
+        cross_cost_w = cross_cost_w * decay +
+                       static_cast<double>(ascent - prev_ascent);
+        intra_cost_w = intra_cost_w * decay +
+                       static_cast<double>(intra_c - prev_intra_cost);
+        cross_reqs_w = cross_reqs_w * decay +
+                       static_cast<double>(crossn - prev_cross);
+        intra_reqs_w = intra_reqs_w * decay +
+                       static_cast<double>(intran - prev_intra);
+        prev_ascent = ascent;
+        prev_intra_cost = intra_c;
+        prev_cross = crossn;
+        prev_intra = intran;
+        RebalanceCostHints hints = base_hints;
+        if (cross_reqs_w > 0.0 && intra_reqs_w > 0.0)
+          hints.cross_penalty =
+              std::max(0.0, cross_cost_w / cross_reqs_w -
+                                intra_cost_w / intra_reqs_w);
+        RebalancePlan plan = state.epoch(net_.map(), hints);
+        if (plan.triggered) {
+          ++res.sim.rebalance_epochs;
+          if (!plan.migrations.empty()) {
+            const MigrationResult applied =
+                net_.apply_migrations(std::move(plan.migrations));
+            res.sim.migrations += applied.migrated;
+            res.sim.migration_cost += applied.total_cost();
+          }
+        }
+      }
+    }
+  }
+
+  quiesce(m);
+  res.elapsed_seconds = static_cast<double>(now_ns()) / 1e9;
+  for (auto& inbox : inboxes) inbox->close();
+  for (std::thread& t : threads) t.join();
+
+  // ---- aggregation ----------------------------------------------------
+  for (const WorkerState& ws : workers) {
+    res.sim.routing_cost += ws.routing;
+    res.sim.rotation_count += ws.rotations;
+    res.sim.edge_changes += ws.edges;
+    res.handovers += ws.handovers;
+    res.forwards += ws.forwards;
+    res.sojourn.merge(ws.sojourn);
+    res.queue_wait.merge(ws.queue_wait);
+  }
+  res.sim.cross_shard = static_cast<Cost>(cross_dispatched);
+  net_.note_cross_served(static_cast<Cost>(cross_dispatched));
+  res.achieved_rate = res.elapsed_seconds > 0.0
+                          ? static_cast<double>(m) / res.elapsed_seconds
+                          : 0.0;
+  if (res.sim.migrations == 0)
+    res.sim.post_intra_fraction =
+        m == 0 ? 0.0
+               : 1.0 - static_cast<double>(cross_dispatched) /
+                           static_cast<double>(m);
+  else
+    res.sim.post_intra_fraction =
+        compute_shard_stats(trace, net_.map()).intra_fraction();
+  if (res.sojourn.count() > 0) {
+    res.sim.latency.measured = true;
+    res.sim.latency.mean_us = res.sojourn.mean() / 1e3;
+    res.sim.latency.p50_us = static_cast<double>(res.sojourn.p50()) / 1e3;
+    res.sim.latency.p99_us = static_cast<double>(res.sojourn.p99()) / 1e3;
+    res.sim.latency.p999_us = static_cast<double>(res.sojourn.p999()) / 1e3;
+    res.sim.latency.max_us = static_cast<double>(res.sojourn.max()) / 1e3;
+  }
+  return res;
+}
+
+}  // namespace san

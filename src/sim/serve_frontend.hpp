@@ -1,0 +1,108 @@
+// ServeFrontend: the live open-loop serving engine — shard-pinned worker
+// threads over per-shard bounded MPSC inboxes, fed by an arrival-timed
+// dispatcher, with cross-shard requests handed over between workers
+// through per-shard mailboxes (the RPC/handover split of disaggregated
+// stores like DiStore, replacing the batch pipeline's epoch barrier).
+//
+// Topology of one run:
+//
+//   caller thread (dispatcher)            S worker threads, one per shard
+//   ─────────────────────────             ──────────────────────────────
+//   wait until arrival[i]                 drain inbox (mailbox first,
+//   route r_i by ShardMap      ──push──►  then main queue, ≤ B per
+//   observe into rebalancer               wakeup = batched admission)
+//   every epoch: quiesce,                 intra: shard.serve(u, v)
+//     plan, apply_migrations              cross 1st leg: shard.access(u),
+//                                           mailbox-push to dst worker
+//                                         cross 2nd leg: shard.access(v)
+//                                           + top-tree legs, complete
+//
+// Cost accounting is identical to the batched pipeline (and hence to
+// per-request ShardedNetwork::serve): intra requests are exact Section 2
+// accounting, a cross-shard request pays both root ascents plus the
+// static top-tree route. At S = 1 with FIFO admission the single inbox
+// preserves trace order, so the total cost bit-matches closed-loop batch
+// replay for any arrival process (locked by tests/test_frontend.cpp). At
+// S > 1 the per-shard interleaving of direct and handed-over ops depends
+// on real-time scheduling, so costs are statistically but not bit
+// reproducible — the price of measuring actual latency.
+//
+// Latency: each request carries its intended arrival timestamp; sojourn
+// (queue wait + service, including both legs and every mailbox hop of a
+// cross-shard request) is recorded into per-worker LatencyHistograms and
+// merged after the run — the mergeable-summary path to global p50/p99/p999.
+//
+// Rebalancing reuses the PR 4 observe/plan/apply hooks online: the
+// dispatcher observes every request into a RebalanceState; at each epoch
+// boundary it stops dispatching, waits for the pipeline to drain
+// (completed == dispatched — a quiesce barrier, not a per-request one),
+// plans against measured cross/intra costs, applies the migration batch,
+// and resumes. The pause is real serving time: arrivals keep accumulating
+// during it, so migration stalls show up honestly in the tail quantiles.
+// Queued items hold global ids and re-resolve their shard on admission,
+// so ops that raced a migration are forwarded to the node's new shard
+// (counted in FrontendResult::forwards) instead of being lost.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "sim/sharded_network.hpp"
+#include "sim/simulator.hpp"
+#include "stats/latency_histogram.hpp"
+
+namespace san {
+
+struct FrontendOptions {
+  /// Max requests a worker admits per wakeup (the B of batched admission).
+  int admission_batch = 64;
+  /// Bound of each shard's main request queue; the dispatcher blocks while
+  /// its target queue is full (arrival timestamps keep counting, so the
+  /// backpressure is charged to latency, not hidden). Mailboxes are
+  /// unbounded: handover traffic is already bounded by the main queues,
+  /// and a bounded worker-to-worker push could deadlock a cycle of full
+  /// shards.
+  std::size_t queue_capacity = 1024;
+  /// Non-null + enabled() turns on online rebalancing epochs (see file
+  /// comment). Ignored when the network has a single shard.
+  const RebalanceConfig* rebalance = nullptr;
+};
+
+struct FrontendResult {
+  /// Serve-path totals in the batch pipeline's conventions, with
+  /// sim.latency filled from the sojourn histogram. cross_shard counts
+  /// requests that were cross-shard under the map at dispatch time.
+  SimResult sim;
+  /// Queue wait + service time per request, nanoseconds.
+  LatencyHistogram sojourn;
+  /// Arrival-to-first-admission wait per request, nanoseconds.
+  LatencyHistogram queue_wait;
+  double elapsed_seconds = 0.0;  ///< first dispatch to last completion
+  double offered_rate = 0.0;     ///< requests/s of the arrival schedule
+                                 ///< (0 for saturation)
+  double achieved_rate = 0.0;    ///< completed requests / elapsed
+  std::size_t handovers = 0;     ///< first-leg mailbox handovers performed
+  std::size_t forwards = 0;      ///< ops re-routed after losing a race
+                                 ///< with a migration
+};
+
+class ServeFrontend {
+ public:
+  /// The frontend serves through `net`, which must outlive it. One worker
+  /// thread per shard is spawned per run() and joined before it returns.
+  explicit ServeFrontend(ShardedNetwork& net, FrontendOptions opt = {});
+
+  /// Serves `trace` open-loop: request i is dispatched at `arrivals[i]`
+  /// nanoseconds after the run starts (gen_arrival_times produces the
+  /// schedule; all-zero = saturation). Blocks until every request has
+  /// completed. Throws TreeError when the sizes disagree or the options
+  /// are invalid.
+  FrontendResult run(const Trace& trace,
+                     std::span<const std::uint64_t> arrivals);
+
+ private:
+  ShardedNetwork& net_;
+  FrontendOptions opt_;
+};
+
+}  // namespace san

@@ -19,6 +19,20 @@
 
 namespace san {
 
+/// Tail-latency summary attached to results that were measured under an
+/// open-loop arrival process (sim/serve_frontend.hpp). Latency of one
+/// request = queue wait + service time, measured from its *intended*
+/// arrival timestamp, so a backlogged server cannot hide its stalls
+/// (no coordinated omission). Closed-loop replay leaves this unmeasured.
+struct LatencyStats {
+  bool measured = false;
+  double mean_us = 0.0;
+  double p50_us = 0.0;
+  double p99_us = 0.0;
+  double p999_us = 0.0;
+  double max_us = 0.0;
+};
+
 struct SimResult {
   Cost routing_cost = 0;    ///< sum of pre-adjustment path lengths
   Cost rotation_count = 0;  ///< k-splay / k-semi-splay / splay steps
@@ -37,6 +51,10 @@ struct SimResult {
   /// Intra-shard fraction of the whole trace under the *final* map (set by
   /// run_trace_sharded in both static and adaptive modes).
   double post_intra_fraction = 0.0;
+
+  /// Sojourn-time summary when the result came from the open-loop serving
+  /// frontend; latency.measured stays false for closed-loop replay.
+  LatencyStats latency;
 
   /// Experimental-section total: unit routing + unit rotation cost.
   Cost total_cost() const { return routing_cost + rotation_count; }

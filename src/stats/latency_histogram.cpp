@@ -1,0 +1,75 @@
+#include "stats/latency_histogram.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+namespace san {
+
+std::size_t LatencyHistogram::bucket_index(std::uint64_t value) {
+  if (value < kSubBuckets) return static_cast<std::size_t>(value);
+  // Octave of the value's most significant bit, kSubBits of mantissa.
+  const int msb = 63 - std::countl_zero(value);
+  const int shift = msb - kSubBits;
+  const std::uint64_t mantissa = (value >> shift) - kSubBuckets;
+  return static_cast<std::size_t>(shift + 1) *
+             static_cast<std::size_t>(kSubBuckets) +
+         static_cast<std::size_t>(mantissa);
+}
+
+std::uint64_t LatencyHistogram::bucket_low(std::size_t index) {
+  if (index < kSubBuckets) return index;
+  const std::size_t group = index / kSubBuckets;  // >= 1
+  const std::uint64_t mantissa = index % kSubBuckets;
+  const int shift = static_cast<int>(group) - 1;
+  return (kSubBuckets + mantissa) << shift;
+}
+
+std::uint64_t LatencyHistogram::bucket_mid(std::size_t index) {
+  if (index < kSubBuckets) return index;  // width 1: exact
+  const std::size_t group = index / kSubBuckets;
+  const int shift = static_cast<int>(group) - 1;
+  const std::uint64_t width = std::uint64_t{1} << shift;
+  return bucket_low(index) + width / 2;
+}
+
+void LatencyHistogram::record(std::uint64_t value_ns) {
+  ++counts_[bucket_index(value_ns)];
+  ++count_;
+  sum_ += value_ns;
+  min_ = std::min(min_, value_ns);
+  max_ = std::max(max_, value_ns);
+}
+
+void LatencyHistogram::merge(const LatencyHistogram& other) {
+  for (std::size_t i = 0; i < kBuckets; ++i) counts_[i] += other.counts_[i];
+  count_ += other.count_;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double LatencyHistogram::mean() const {
+  return count_ == 0
+             ? 0.0
+             : static_cast<double>(sum_) / static_cast<double>(count_);
+}
+
+std::uint64_t LatencyHistogram::quantile(double q) const {
+  if (count_ == 0) return 0;
+  if (q <= 0.0) return min();
+  if (q >= 1.0) return max_;
+  // Nearest rank: the ceil(q * count)-th smallest recorded value.
+  const auto rank = static_cast<std::uint64_t>(
+      std::ceil(q * static_cast<double>(count_)));
+  const std::uint64_t target = std::max<std::uint64_t>(rank, 1);
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    seen += counts_[i];
+    if (seen >= target)
+      return std::clamp<std::uint64_t>(bucket_mid(i), min(), max_);
+  }
+  return max_;  // unreachable: counts_ sums to count_
+}
+
+}  // namespace san

@@ -1,0 +1,74 @@
+// LatencyHistogram: fixed-memory log-bucketed histogram for tail-latency
+// reporting (p50 / p99 / p999) in the open-loop serving frontend.
+//
+// Values are nanoseconds (any nonnegative 64-bit scalar works). Buckets
+// follow the HdrHistogram idea: 32 linear sub-buckets per power of two, so
+// the relative quantile error is bounded by 2^-5 ~ 3.1% at every
+// magnitude, with exact resolution below 32. The bucket array is a fixed
+// 1920-slot table (~15 KB) regardless of how many values are recorded —
+// each shard worker owns one and records per-request sojourn times
+// allocation-free.
+//
+// Histograms merge by adding bucket counts (plus exact count/sum/min/max),
+// which is the mergeable-summary shape of federated quantile estimation:
+// per-shard distributions combine into exact global bucket counts, so a
+// global quantile is as accurate as if one histogram had seen every
+// request. merge() is the frontend's cross-shard aggregation path.
+//
+// Not internally synchronized: one writer per instance (merge after join),
+// like every other accumulator in the codebase.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+namespace san {
+
+class LatencyHistogram {
+ public:
+  /// Linear sub-buckets per octave; 2^kSubBits bounds the relative error.
+  static constexpr int kSubBits = 5;
+  static constexpr std::uint64_t kSubBuckets = std::uint64_t{1} << kSubBits;
+  /// (64 - kSubBits + 1) octave groups of kSubBuckets slots cover the full
+  /// uint64 range (values < kSubBuckets map to themselves exactly).
+  static constexpr std::size_t kBuckets = (64 - kSubBits + 1) * kSubBuckets;
+
+  void record(std::uint64_t value_ns);
+
+  /// Adds `other`'s counts into this histogram (bucket-wise, plus the
+  /// exact count / sum / min / max). Associative and commutative.
+  void merge(const LatencyHistogram& other);
+
+  std::uint64_t count() const { return count_; }
+  /// Exact mean of everything recorded (tracked outside the buckets).
+  double mean() const;
+  std::uint64_t min() const { return count_ == 0 ? 0 : min_; }
+  std::uint64_t max() const { return max_; }
+
+  /// Nearest-rank quantile, q in [0, 1]; returns the representative
+  /// (midpoint) value of the bucket holding that rank, so the result is
+  /// within 2^-kSubBits of the true order statistic. q <= 0 returns the
+  /// exact min, q >= 1 the exact max. Returns 0 on an empty histogram.
+  std::uint64_t quantile(double q) const;
+
+  std::uint64_t p50() const { return quantile(0.50); }
+  std::uint64_t p99() const { return quantile(0.99); }
+  std::uint64_t p999() const { return quantile(0.999); }
+
+  /// Bucket index of a value (exposed for tests).
+  static std::size_t bucket_index(std::uint64_t value);
+  /// Inclusive lower edge of bucket `index`.
+  static std::uint64_t bucket_low(std::size_t index);
+  /// Representative (midpoint) value of bucket `index`.
+  static std::uint64_t bucket_mid(std::size_t index);
+
+ private:
+  std::array<std::uint64_t, kBuckets> counts_{};
+  std::uint64_t count_ = 0;
+  std::uint64_t sum_ = 0;
+  std::uint64_t min_ = ~std::uint64_t{0};
+  std::uint64_t max_ = 0;
+};
+
+}  // namespace san

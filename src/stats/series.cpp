@@ -26,6 +26,7 @@ void CostSeries::ensure_sorted() const {
 
 Cost CostSeries::percentile(double p) const {
   if (values_.empty()) throw TreeError("CostSeries::percentile: empty series");
+  std::lock_guard<std::mutex> lock(sort_mu_);
   ensure_sorted();
   p = std::clamp(p, 0.0, 1.0);
   const auto rank = static_cast<std::size_t>(
@@ -36,11 +37,16 @@ Cost CostSeries::percentile(double p) const {
 std::vector<double> CostSeries::bucket_means(int buckets) const {
   std::vector<double> out;
   if (buckets <= 0 || values_.empty()) return out;
-  const std::size_t per =
-      (values_.size() + static_cast<std::size_t>(buckets) - 1) /
-      static_cast<std::size_t>(buckets);
-  for (std::size_t begin = 0; begin < values_.size(); begin += per) {
-    const std::size_t end = std::min(values_.size(), begin + per);
+  // Exactly min(buckets, count()) near-equal slices: slice i covers
+  // [i*count/nb, (i+1)*count/nb), so sizes differ by at most one and the
+  // slices tile the series. Ceil-division sizing here used to emit fewer
+  // buckets than requested (5 values / 4 buckets -> 3 slices of 2+2+1).
+  const std::size_t nb =
+      std::min(static_cast<std::size_t>(buckets), values_.size());
+  out.reserve(nb);
+  for (std::size_t b = 0; b < nb; ++b) {
+    const std::size_t begin = b * values_.size() / nb;
+    const std::size_t end = (b + 1) * values_.size() / nb;
     double sum = 0.0;
     for (std::size_t i = begin; i < end; ++i)
       sum += static_cast<double>(values_[i]);

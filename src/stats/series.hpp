@@ -2,9 +2,16 @@
 // view, used by benches and the CLI to report tail behaviour (a reactive
 // SAN trades mean cost against occasional expensive reconfiguration bursts;
 // the tail is where that shows).
+//
+// Thread-safety: the const observers (mean / max / percentile /
+// bucket_means) may be called concurrently from any number of threads —
+// the lazily sorted percentile cache is guarded by an internal mutex.
+// add() is a mutation and requires external exclusion against every other
+// member, as usual for containers.
 #pragma once
 
 #include <cstddef>
+#include <mutex>
 #include <vector>
 
 #include "core/types.hpp"
@@ -24,14 +31,19 @@ class CostSeries {
   /// p in [0, 1]; nearest-rank percentile. Throws TreeError when empty.
   Cost percentile(double p) const;
 
-  /// Means of `buckets` equal consecutive time slices (trend over the
-  /// trace: warm-up, convergence, drift).
+  /// Means of consecutive time slices (trend over the trace: warm-up,
+  /// convergence, drift). Returns exactly min(buckets, count()) slices
+  /// whose sizes differ by at most one and cover every value.
   std::vector<double> bucket_means(int buckets) const;
 
  private:
+  /// Must be called with sort_mu_ held.
   void ensure_sorted() const;
 
   std::vector<Cost> values_;
+  /// Guards the lazily sorted cache below so concurrent const readers
+  /// (per-shard frontend reporting) do not race on its construction.
+  mutable std::mutex sort_mu_;
   mutable std::vector<Cost> sorted_values_;
   mutable bool sorted_ = false;
 };

@@ -1,0 +1,103 @@
+#include "workload/arrival.hpp"
+
+#include <cmath>
+#include <random>
+
+namespace san {
+namespace {
+
+constexpr double kNsPerSec = 1e9;
+
+/// Uniform double in (0, 1], built from the top 53 bits of a raw RNG word
+/// so the sequence is identical across standard libraries (std::
+/// *_distribution algorithms are implementation-defined). The +1 keeps 0
+/// out of the range, making -log(u) finite.
+double uniform_open(std::mt19937_64& rng) {
+  return (static_cast<double>(rng() >> 11) + 1.0) * 0x1.0p-53;
+}
+
+/// Exponential variate with the given mean.
+double exponential(std::mt19937_64& rng, double mean) {
+  return -mean * std::log(uniform_open(rng));
+}
+
+/// Pareto variate with shape alpha and the given mean (xm scaled so the
+/// mean matches: mean = xm * alpha / (alpha - 1)).
+double pareto(std::mt19937_64& rng, double alpha, double mean) {
+  const double xm = mean * (alpha - 1.0) / alpha;
+  return xm / std::pow(uniform_open(rng), 1.0 / alpha);
+}
+
+std::vector<std::uint64_t> poisson_times(double rate, std::size_t m,
+                                         std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::vector<std::uint64_t> times;
+  times.reserve(m);
+  const double mean_gap_ns = kNsPerSec / rate;
+  double t = 0.0;
+  for (std::size_t i = 0; i < m; ++i) {
+    t += exponential(rng, mean_gap_ns);
+    times.push_back(static_cast<std::uint64_t>(t));
+  }
+  return times;
+}
+
+std::vector<std::uint64_t> bursty_times(double rate, std::size_t m,
+                                        std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::vector<std::uint64_t> times;
+  times.reserve(m);
+  // ON periods arrive at rate / f; OFF periods are silent and last
+  // (1 - f) / f times as long on average, so the long-run mean is `rate`.
+  const double on_rate = rate / kBurstyOnFraction;
+  const double mean_gap_ns = kNsPerSec / on_rate;
+  const double mean_on_ns = kBurstyMeanOnSeconds * kNsPerSec;
+  const double mean_off_ns =
+      mean_on_ns * (1.0 - kBurstyOnFraction) / kBurstyOnFraction;
+  double t = 0.0;
+  double on_end = 0.0;
+  while (times.size() < m) {
+    // Draw the next ON window (possibly after an OFF gap).
+    if (t >= on_end) {
+      if (!times.empty() || t > 0.0)
+        t += pareto(rng, kBurstyParetoShape, mean_off_ns);
+      on_end = t + pareto(rng, kBurstyParetoShape, mean_on_ns);
+    }
+    while (times.size() < m) {
+      t += exponential(rng, mean_gap_ns);
+      if (t >= on_end) break;  // arrival falls past the window: drop to OFF
+      times.push_back(static_cast<std::uint64_t>(t));
+    }
+    t = on_end;
+  }
+  return times;
+}
+
+}  // namespace
+
+const char* arrival_kind_name(ArrivalKind kind) {
+  switch (kind) {
+    case ArrivalKind::kSaturation:
+      return "saturation";
+    case ArrivalKind::kPoisson:
+      return "poisson";
+    case ArrivalKind::kBursty:
+      return "bursty";
+  }
+  return "?";
+}
+
+std::vector<std::uint64_t> gen_arrival_times(ArrivalKind kind,
+                                             double rate_per_sec,
+                                             std::size_t m,
+                                             std::uint64_t seed) {
+  if (kind == ArrivalKind::kSaturation)
+    return std::vector<std::uint64_t>(m, 0);
+  if (!(rate_per_sec > 0.0))
+    throw TreeError("gen_arrival_times: rate must be positive");
+  return kind == ArrivalKind::kPoisson
+             ? poisson_times(rate_per_sec, m, seed)
+             : bursty_times(rate_per_sec, m, seed);
+}
+
+}  // namespace san

@@ -1,0 +1,64 @@
+// Open-loop arrival processes for the serving frontend.
+//
+// Closed-loop replay (run_trace*) issues the next request the moment the
+// previous one finishes, so it measures throughput but can never measure
+// latency under load. An open-loop generator instead assigns every request
+// an *arrival timestamp* drawn from a stochastic process that does not
+// care how fast the server is; the frontend dispatches at those times and
+// latency = completion - arrival includes every queueing effect (and is
+// immune to coordinated omission: a stalled server keeps accumulating
+// intended arrivals, so the stall shows up in the tail instead of being
+// silently absorbed by a paused load generator).
+//
+// Two processes, both bit-deterministic given a seed (uniform doubles are
+// derived from raw mt19937_64 words, not from distribution objects whose
+// algorithms vary across standard libraries):
+//   * kPoisson — exponential interarrivals at `rate` requests/second; the
+//     memoryless baseline of open-loop benchmarking.
+//   * kBursty  — on-off modulated Poisson: ON periods arrive at
+//     rate / kBurstyOnFraction, OFF periods are silent, and both period
+//     lengths are Pareto(alpha = 1.5) distributed. Infinite-variance
+//     periods give the arrival counts the slowly-decaying correlations of
+//     self-similar datacenter traffic, so queues see correlated bursts far
+//     above the mean rate while the long-run mean stays `rate`.
+//   * kSaturation — every request arrives at t = 0: the offered load is
+//     infinite and the frontend serves as fast as it can drain. This is
+//     the mode whose total cost must bit-match closed-loop batch replay
+//     at S = 1 (FIFO admission preserves trace order).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "core/types.hpp"
+
+namespace san {
+
+enum class ArrivalKind {
+  kSaturation,  ///< all arrivals at t = 0 (infinite offered load)
+  kPoisson,     ///< exponential interarrivals at the given rate
+  kBursty,      ///< Pareto on-off modulated Poisson (self-similar bursts)
+};
+
+const char* arrival_kind_name(ArrivalKind kind);
+
+/// Fraction of time a bursty source is ON (its ON rate is scaled by the
+/// inverse so the long-run mean rate matches the request).
+inline constexpr double kBurstyOnFraction = 0.25;
+/// Pareto shape of the ON/OFF period lengths; 1 < alpha < 2 gives finite
+/// mean but infinite variance — the heavy tail behind self-similarity.
+inline constexpr double kBurstyParetoShape = 1.5;
+/// Mean ON period length in seconds.
+inline constexpr double kBurstyMeanOnSeconds = 0.020;
+
+/// Generates `m` monotonically nondecreasing arrival timestamps in
+/// nanoseconds from t = 0, deterministic given (kind, rate, m, seed).
+/// `rate_per_sec` must be positive for kPoisson / kBursty and is ignored
+/// for kSaturation. Throws TreeError on invalid arguments.
+std::vector<std::uint64_t> gen_arrival_times(ArrivalKind kind,
+                                             double rate_per_sec,
+                                             std::size_t m,
+                                             std::uint64_t seed);
+
+}  // namespace san

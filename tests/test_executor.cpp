@@ -142,5 +142,104 @@ TEST(Executor, ResolveThreads) {
   EXPECT_GE(resolve_threads(0), 1);
 }
 
+/// Drives a round on an owned pool through the type-erased interface
+/// (parallel_for is hard-wired to the shared instance()).
+template <typename Fn>
+void run_on(Executor& exec, long begin, long end, int threads, Fn&& fn) {
+  using Decayed = std::remove_reference_t<Fn>;
+  exec.for_range(begin, end, threads, &fn,
+                 [](void* ctx, long i) { (*static_cast<Decayed*>(ctx))(i); });
+}
+
+// Shutdown-vs-late-worker stress: destroy the pool immediately after a
+// round completes, over and over. A worker that is still waking from the
+// posted round must observe the closed slots / stop flag under the lock
+// and exit cleanly; any flaw here is a join-on-detached or use-after-free
+// that TSan (and often plain ASAN/crash) catches within a few hundred
+// iterations.
+TEST(Executor, DestructionRacesLateWakingWorkers) {
+  for (int iter = 0; iter < 300; ++iter) {
+    std::atomic<long> sum{0};
+    {
+      Executor pool;
+      // Tiny range with many participants: most workers wake to find the
+      // cursor already drained — exactly the late-waker window.
+      run_on(pool, 0, 8, 4, [&](long i) {
+        sum.fetch_add(i, std::memory_order_relaxed);
+      });
+    }  // pool destroyed while its workers may still be mid-wakeup
+    ASSERT_EQ(sum.load(), 28) << "iter " << iter;
+  }
+}
+
+// Regression: when fn throws on the *caller* (or any participant), the
+// round must fully quiesce — no fn still executing anywhere — before the
+// exception is rethrown to the caller. Otherwise a worker could still be
+// touching caller-owned state after for_range returned.
+TEST(Executor, ExceptionRethrownOnlyAfterWorkersQuiesce) {
+  for (int iter = 0; iter < 50; ++iter) {
+    Executor pool;
+    std::atomic<int> in_flight{0};
+    std::atomic<int> max_seen{0};
+    auto body = [&](long i) {
+      const int now = in_flight.fetch_add(1, std::memory_order_acq_rel) + 1;
+      int prev = max_seen.load(std::memory_order_relaxed);
+      while (now > prev &&
+             !max_seen.compare_exchange_weak(prev, now,
+                                             std::memory_order_relaxed)) {
+      }
+      if (i == 0) {  // index 0 lands in the caller's first chunk
+        in_flight.fetch_sub(1, std::memory_order_acq_rel);
+        throw std::runtime_error("caller chunk boom");
+      }
+      // Give other participants time to be genuinely mid-fn when the
+      // throw happens, so a premature rethrow would observe them.
+      for (volatile int spin = 0; spin < 2000; ++spin) {
+      }
+      in_flight.fetch_sub(1, std::memory_order_acq_rel);
+    };
+    bool threw = false;
+    try {
+      run_on(pool, 0, 2048, 4, body);
+    } catch (const std::runtime_error&) {
+      threw = true;
+      // The contract: rethrow happens only after every participant
+      // drained. Nothing may still be inside fn now.
+      EXPECT_EQ(in_flight.load(std::memory_order_acquire), 0)
+          << "iter " << iter;
+    }
+    ASSERT_TRUE(threw) << "iter " << iter;
+    EXPECT_GE(max_seen.load(), 1);
+    // And the pool is still usable after the failed round.
+    std::atomic<long> sum{0};
+    run_on(pool, 0, 100, 4, [&](long i) {
+      sum.fetch_add(i + 1, std::memory_order_relaxed);
+    });
+    EXPECT_EQ(sum.load(), 5050);
+  }
+}
+
+// Owned pools are independent: rounds on two pools from two threads do
+// not share round state (instance() serializes via round_mu; two owned
+// pools must not need to).
+TEST(Executor, OwnedPoolsAreIndependent) {
+  Executor pa, pb;
+  std::vector<int> a(1001, 0), b(2003, 0);
+  std::thread ta([&] {
+    for (int r = 0; r < 20; ++r)
+      run_on(pa, 0, static_cast<long>(a.size()), 3,
+             [&](long i) { a[static_cast<size_t>(i)] += 1; });
+  });
+  std::thread tb([&] {
+    for (int r = 0; r < 20; ++r)
+      run_on(pb, 0, static_cast<long>(b.size()), 3,
+             [&](long i) { b[static_cast<size_t>(i)] += 1; });
+  });
+  ta.join();
+  tb.join();
+  for (int v : a) ASSERT_EQ(v, 20);
+  for (int v : b) ASSERT_EQ(v, 20);
+}
+
 }  // namespace
 }  // namespace san

@@ -1,6 +1,10 @@
 // CostSeries percentile / bucket statistics.
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <thread>
+#include <vector>
+
 #include "stats/series.hpp"
 
 namespace san {
@@ -54,6 +58,74 @@ TEST(CostSeries, BucketCountLargerThanSeries) {
   s.add(7);
   auto buckets = s.bucket_means(10);
   ASSERT_EQ(buckets.size(), 2u);
+}
+
+// Regression: ceil-division sizing used to emit fewer buckets than
+// requested (5 values / 4 buckets -> 3 slices). The partition must return
+// exactly min(buckets, count()) slices of near-equal size covering every
+// value, for every uneven count/bucket combination.
+TEST(CostSeries, BucketMeansExactCountOnUnevenSizes) {
+  for (int count : {1, 2, 3, 5, 7, 10, 11, 100, 101}) {
+    CostSeries s;
+    double total = 0.0;
+    for (int i = 0; i < count; ++i) {
+      s.add(i);
+      total += i;
+    }
+    for (int buckets : {1, 2, 3, 4, 5, 8, 13}) {
+      const auto means = s.bucket_means(buckets);
+      const std::size_t expect =
+          std::min<std::size_t>(buckets, static_cast<std::size_t>(count));
+      ASSERT_EQ(means.size(), expect)
+          << count << " values / " << buckets << " buckets";
+      // Slices tile the series: size-weighted means sum back to the total.
+      double sum = 0.0;
+      for (std::size_t b = 0; b < means.size(); ++b) {
+        const std::size_t begin = b * s.count() / means.size();
+        const std::size_t end = (b + 1) * s.count() / means.size();
+        ASSERT_GE(end - begin, s.count() / means.size());
+        ASSERT_LE(end - begin, s.count() / means.size() + 1);
+        sum += means[b] * static_cast<double>(end - begin);
+      }
+      EXPECT_NEAR(sum, total, 1e-6);
+    }
+  }
+}
+
+TEST(CostSeries, BucketMeansFiveOverFour) {
+  CostSeries s;
+  for (Cost v : {10, 20, 30, 40, 50}) s.add(v);
+  const auto means = s.bucket_means(4);
+  ASSERT_EQ(means.size(), 4u);  // was 3 with ceil-division sizing
+  // Partition is {10}, {20}, {30}, {40, 50}.
+  EXPECT_DOUBLE_EQ(means[0], 10.0);
+  EXPECT_DOUBLE_EQ(means[1], 20.0);
+  EXPECT_DOUBLE_EQ(means[2], 30.0);
+  EXPECT_DOUBLE_EQ(means[3], 45.0);
+}
+
+// The sorted percentile cache is built lazily inside a const method; many
+// threads reading the same const series concurrently (exactly what
+// per-shard frontend reporting does) must not race on its construction.
+// Run under TSan by the CI thread-sanitizer job.
+TEST(CostSeries, ConcurrentConstReaders) {
+  CostSeries s;
+  for (Cost v = 1000; v >= 1; --v) s.add(v);
+  const CostSeries& cs = s;
+  std::vector<std::thread> readers;
+  std::atomic<int> failures{0};
+  for (int t = 0; t < 8; ++t)
+    readers.emplace_back([&cs, &failures] {
+      for (int i = 0; i < 50; ++i) {
+        if (cs.percentile(0.5) != 500) ++failures;
+        if (cs.percentile(0.99) != 990) ++failures;
+        if (cs.percentile(1.0) != 1000) ++failures;
+        if (cs.max() != 1000) ++failures;
+        if (cs.bucket_means(4).size() != 4u) ++failures;
+      }
+    });
+  for (std::thread& t : readers) t.join();
+  EXPECT_EQ(failures.load(), 0);
 }
 
 }  // namespace
