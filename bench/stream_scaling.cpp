@@ -1,0 +1,302 @@
+// Streaming data-plane scaling: the memory and throughput story of the
+// O(chunk) replay path at n = 10^6 nodes and 10^7-10^8 requests.
+//
+// Three sections:
+//   * stream scale — the sharded streaming drain over an on-demand
+//     workload generator at a fixed n = 10^6 while m grows 4x. The
+//     resident-set delta of each run must stay flat: the pipeline's
+//     working set is the network plus one chunk, never the trace.
+//   * stream vs materialized — the same workload served both ways at the
+//     same m. Costs must match exactly (the streamed loops are
+//     bit-identical by construction); the materialized side additionally
+//     holds the 8-byte-per-request trace, which is the memory the
+//     streaming path deletes. The streaming run goes FIRST so the
+//     process's peak-RSS watermark (VmHWM, monotonic) still shows what
+//     the streamed section alone needed.
+//   * sketch vs exact — the PR 4 drift benchmark (rotating hotset,
+//     n = 2000, S = 8, hotpair policy) with the rebalancer's demand
+//     window kept exactly vs by the sketch pair
+//     (stats/sketch.hpp). The sketch run's grand total must stay within
+//     2% of exact while its window state is bounded independently of n.
+//
+// --smoke shrinks everything to CI-sized runs; SAN_BENCH_FULL=1 raises
+// the top stream length to the 10^8 class. The checked-in
+// BENCH_stream_scaling.json records this machine's numbers.
+#include <chrono>
+#include <cstdio>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#if defined(__linux__)
+#include <unistd.h>
+#endif
+
+#include "bench_common.hpp"
+#include "core/executor.hpp"
+#include "sim/simulator.hpp"
+#include "stats/table.hpp"
+#include "workload/rebalance.hpp"
+#include "workload/streaming.hpp"
+
+namespace {
+
+using namespace san;
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+/// Current resident set in bytes (/proc/self/statm), 0 where unsupported.
+/// Current — not ru_maxrss — because the whole point is watching the
+/// footprint stay flat as m grows, and a monotonic high-water mark cannot
+/// show that.
+std::size_t current_rss_bytes() {
+#if defined(__linux__)
+  std::FILE* f = std::fopen("/proc/self/statm", "r");
+  if (f == nullptr) return 0;
+  long total = 0, resident = 0;
+  const int got = std::fscanf(f, "%ld %ld", &total, &resident);
+  std::fclose(f);
+  if (got != 2) return 0;
+  return static_cast<std::size_t>(resident) *
+         static_cast<std::size_t>(sysconf(_SC_PAGESIZE));
+#else
+  return 0;
+#endif
+}
+
+/// Peak resident set in bytes (VmHWM), 0 where unsupported.
+std::size_t peak_rss_bytes() {
+#if defined(__linux__)
+  std::FILE* f = std::fopen("/proc/self/status", "r");
+  if (f == nullptr) return 0;
+  char line[256];
+  std::size_t kb = 0;
+  while (std::fgets(line, sizeof(line), f) != nullptr) {
+    if (std::sscanf(line, "VmHWM: %zu kB", &kb) == 1) break;
+  }
+  std::fclose(f);
+  return kb * 1024;
+#else
+  return 0;
+#endif
+}
+
+double mb(std::size_t bytes) { return static_cast<double>(bytes) / 1e6; }
+
+struct StreamRow {
+  std::size_t m = 0;
+  double seconds = 0.0;
+  double req_per_sec = 0.0;
+  Cost total_cost = 0;
+  double rss_before_mb = 0.0;
+  double rss_during_mb = 0.0;  ///< network + chunk buffers, trace-free
+  double rss_delta_mb = 0.0;
+};
+
+StreamRow run_stream_once(int n, int shards, std::size_t m) {
+  StreamRow row;
+  row.m = m;
+  row.rss_before_mb = mb(current_rss_bytes());
+  ShardedNetwork net = ShardedNetwork::balanced(3, n, shards,
+                                                ShardPartition::kContiguous);
+  StreamingWorkload stream(WorkloadKind::kUniform, n, m, bench::bench_seed());
+  const auto t0 = std::chrono::steady_clock::now();
+  const SimResult res = run_trace_sharded_stream(
+      net, stream, {.threads = bench::bench_threads()});
+  row.seconds = seconds_since(t0);
+  row.req_per_sec = static_cast<double>(m) / row.seconds;
+  row.total_cost = res.total_cost();
+  // Sampled while the network is still alive: this is the whole working
+  // set of the run.
+  row.rss_during_mb = mb(current_rss_bytes());
+  row.rss_delta_mb = row.rss_during_mb - row.rss_before_mb;
+  return row;
+}
+
+struct HeadToHead {
+  int n = 0;
+  std::size_t m = 0;
+  StreamRow stream;       // runs first: VmHWM still reflects it alone
+  StreamRow materialized; // pays the m-record trace on top
+  bool costs_match = false;
+  double stream_peak_mb = 0.0;  ///< VmHWM right after the streamed run
+};
+
+HeadToHead run_head_to_head(int n, std::size_t m) {
+  HeadToHead h;
+  h.n = n;
+  h.m = m;
+  h.stream = run_stream_once(n, 8, m);
+  h.stream_peak_mb = mb(peak_rss_bytes());
+
+  StreamRow& mrow = h.materialized;
+  mrow.m = m;
+  mrow.rss_before_mb = mb(current_rss_bytes());
+  ShardedNetwork net =
+      ShardedNetwork::balanced(3, n, 8, ShardPartition::kContiguous);
+  const Trace trace =
+      gen_workload(WorkloadKind::kUniform, n, m, bench::bench_seed());
+  const auto t0 = std::chrono::steady_clock::now();
+  const SimResult res =
+      run_trace_sharded(net, trace, {.threads = bench::bench_threads()});
+  mrow.seconds = seconds_since(t0);
+  mrow.req_per_sec = static_cast<double>(m) / mrow.seconds;
+  mrow.total_cost = res.total_cost();
+  mrow.rss_during_mb = mb(current_rss_bytes());
+  mrow.rss_delta_mb = mrow.rss_during_mb - mrow.rss_before_mb;
+  h.costs_match = res.total_cost() == h.stream.total_cost;
+  return h;
+}
+
+struct SketchReport {
+  int n = 0;
+  int shards = 0;
+  std::size_t m = 0;
+  Cost exact_grand = 0;
+  Cost sketch_grand = 0;
+  double ratio = 0.0;
+  double exact_seconds = 0.0;
+  double sketch_seconds = 0.0;
+  Cost exact_migrations = 0;
+  Cost sketch_migrations = 0;
+};
+
+SketchReport run_sketch_vs_exact() {
+  SketchReport rep;
+  rep.n = bench::scaled(256, 2000, 2000);
+  rep.shards = 8;
+  rep.m = bench::trace_length();
+  const Trace trace = gen_workload(WorkloadKind::kRotatingHot, rep.n, rep.m,
+                                   bench::bench_seed());
+  auto run_with = [&](DemandTracker tracker, double& seconds, Cost& migs) {
+    RebalanceConfig cfg;
+    cfg.policy = RebalancePolicy::kHotPair;
+    cfg.tracker = tracker;
+    ShardedNetwork net = ShardedNetwork::balanced(
+        3, rep.n, rep.shards, ShardPartition::kContiguous);
+    const auto t0 = std::chrono::steady_clock::now();
+    const SimResult res = run_trace_sharded(
+        net, trace, {.threads = bench::bench_threads(), .rebalance = &cfg});
+    seconds = seconds_since(t0);
+    migs = res.migrations;
+    return res.grand_total_cost();
+  };
+  rep.exact_grand =
+      run_with(DemandTracker::kExact, rep.exact_seconds, rep.exact_migrations);
+  rep.sketch_grand = run_with(DemandTracker::kSketch, rep.sketch_seconds,
+                              rep.sketch_migrations);
+  rep.ratio = static_cast<double>(rep.sketch_grand) /
+              static_cast<double>(rep.exact_grand);
+  return rep;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace san;
+  bench::init_bench_cli(argc, argv);
+  std::cout << "== stream scaling: O(chunk) replay at n = 10^6 ==\n";
+  std::cout << "threads: " << bench::bench_threads_resolved() << " of "
+            << resolve_threads(0) << " hardware\n\n";
+
+  const int n_big = bench::scaled(10000, 1'000'000, 1'000'000);
+  const std::vector<std::size_t> stream_ms =
+      bench::bench_cli().smoke
+          ? std::vector<std::size_t>{50'000, 100'000, 200'000}
+          : (bench::full_scale()
+                 ? std::vector<std::size_t>{10'000'000, 30'000'000,
+                                            100'000'000}
+                 : std::vector<std::size_t>{2'500'000, 5'000'000,
+                                            10'000'000});
+
+  // Streaming first: every later section only raises the RSS watermark.
+  std::vector<StreamRow> scale;
+  for (std::size_t m : stream_ms) scale.push_back(run_stream_once(n_big, 8, m));
+
+  Table t1({"m", "seconds", "req/s", "total cost", "rss during (MB)",
+            "rss delta (MB)"});
+  for (const StreamRow& r : scale)
+    t1.add_row({std::to_string(r.m), fixed_cell(r.seconds, 3),
+                std::to_string(static_cast<long long>(r.req_per_sec)),
+                std::to_string(r.total_cost), fixed_cell(r.rss_during_mb, 1),
+                fixed_cell(r.rss_delta_mb, 1)});
+  std::cout << "-- streaming drain, n=" << n_big << ", S=8 (rss must stay "
+            << "flat as m grows 4x) --\n";
+  t1.print();
+  std::cout << "\n";
+
+  const std::size_t h2h_m = bench::scaled<std::size_t>(
+      100'000, 10'000'000, 100'000'000);
+  const HeadToHead h = run_head_to_head(n_big, h2h_m);
+  Table t2({"path", "seconds", "req/s", "total cost", "rss delta (MB)"});
+  t2.add_row({"streamed", fixed_cell(h.stream.seconds, 3),
+              std::to_string(static_cast<long long>(h.stream.req_per_sec)),
+              std::to_string(h.stream.total_cost),
+              fixed_cell(h.stream.rss_delta_mb, 1)});
+  t2.add_row(
+      {"materialized", fixed_cell(h.materialized.seconds, 3),
+       std::to_string(static_cast<long long>(h.materialized.req_per_sec)),
+       std::to_string(h.materialized.total_cost),
+       fixed_cell(h.materialized.rss_delta_mb, 1)});
+  std::cout << "-- streamed vs materialized, n=" << h.n << ", m=" << h.m
+            << " (costs " << (h.costs_match ? "match" : "DIVERGE")
+            << "; streamed-section peak rss " << fixed_cell(h.stream_peak_mb, 1)
+            << " MB) --\n";
+  t2.print();
+  std::cout << "\n";
+
+  const SketchReport sk = run_sketch_vs_exact();
+  Table t3({"tracker", "grand total", "migrations", "seconds"});
+  t3.add_row({"exact", std::to_string(sk.exact_grand),
+              std::to_string(sk.exact_migrations),
+              fixed_cell(sk.exact_seconds, 3)});
+  t3.add_row({"sketch", std::to_string(sk.sketch_grand),
+              std::to_string(sk.sketch_migrations),
+              fixed_cell(sk.sketch_seconds, 3)});
+  std::cout << "-- sketch vs exact demand window, rotating hotset n=" << sk.n
+            << ", S=" << sk.shards << ", m=" << sk.m
+            << " (grand-cost ratio " << fixed_cell(sk.ratio, 4)
+            << ", bound 1.02) --\n";
+  t3.print();
+
+  std::ostringstream js;
+  js << "{\n  \"bench\": \"stream_scaling\",\n  \"threads\": "
+     << bench::bench_threads_resolved() << ",\n  \"stream_scale\": {\n"
+     << "    \"n\": " << n_big << ",\n    \"shards\": 8,\n    \"rows\": [\n";
+  for (std::size_t i = 0; i < scale.size(); ++i) {
+    const StreamRow& r = scale[i];
+    js << "      {\"m\": " << r.m << ", \"seconds\": "
+       << fixed_cell(r.seconds, 4) << ", \"req_per_sec\": "
+       << static_cast<long long>(r.req_per_sec) << ", \"total_cost\": "
+       << r.total_cost << ", \"rss_during_mb\": "
+       << fixed_cell(r.rss_during_mb, 1) << ", \"rss_delta_mb\": "
+       << fixed_cell(r.rss_delta_mb, 1) << "}"
+       << (i + 1 < scale.size() ? ",\n" : "\n");
+  }
+  js << "    ]\n  },\n  \"stream_vs_materialized\": {\n    \"n\": " << h.n
+     << ",\n    \"m\": " << h.m << ",\n    \"costs_match\": "
+     << (h.costs_match ? "true" : "false")
+     << ",\n    \"stream_peak_rss_mb\": " << fixed_cell(h.stream_peak_mb, 1)
+     << ",\n    \"stream\": {\"seconds\": " << fixed_cell(h.stream.seconds, 4)
+     << ", \"req_per_sec\": "
+     << static_cast<long long>(h.stream.req_per_sec)
+     << ", \"rss_delta_mb\": " << fixed_cell(h.stream.rss_delta_mb, 1)
+     << "},\n    \"materialized\": {\"seconds\": "
+     << fixed_cell(h.materialized.seconds, 4) << ", \"req_per_sec\": "
+     << static_cast<long long>(h.materialized.req_per_sec)
+     << ", \"rss_delta_mb\": " << fixed_cell(h.materialized.rss_delta_mb, 1)
+     << "}\n  },\n  \"sketch_vs_exact\": {\n    \"n\": " << sk.n
+     << ",\n    \"shards\": " << sk.shards << ",\n    \"m\": " << sk.m
+     << ",\n    \"exact_grand_cost\": " << sk.exact_grand
+     << ",\n    \"sketch_grand_cost\": " << sk.sketch_grand
+     << ",\n    \"ratio\": " << fixed_cell(sk.ratio, 4)
+     << ",\n    \"exact_migrations\": " << sk.exact_migrations
+     << ",\n    \"sketch_migrations\": " << sk.sketch_migrations
+     << "\n  }\n}\n";
+  bench::write_json_result(js.str());
+  return 0;
+}

@@ -41,6 +41,7 @@
 
 #include "core/splaynet.hpp"
 #include "io/trace_io.hpp"
+#include "io/trace_v2.hpp"
 #include "io/tree_io.hpp"
 #include "sim/any_network.hpp"
 #include "sim/serve_frontend.hpp"
@@ -53,6 +54,7 @@
 #include "workload/demand_matrix.hpp"
 #include "workload/generators.hpp"
 #include "workload/partition.hpp"
+#include "workload/streaming.hpp"
 #include "workload/trace_stats.hpp"
 
 namespace {
@@ -62,6 +64,8 @@ using namespace san;
 struct Options {
   std::string workload = "temporal05";
   std::string trace_path;
+  std::string trace_v2_path;
+  bool stream = false;
   std::string topology = "ksplay";
   int k = 3;
   int n = 0;  // 0 = workload default
@@ -75,8 +79,9 @@ struct Options {
   std::string arrival = "poisson";
   double rate = 1e6;      // requests per second of the arrival schedule
   double duration = 0.0;  // seconds; > 0 sizes the trace as rate * duration
-  std::string dump_tree;   // dot output path
-  std::string dump_trace;  // san-trace output path
+  std::string dump_tree;      // dot output path
+  std::string dump_trace;     // san-trace v1 (text) output path
+  std::string dump_trace_v2;  // san-trace v2 (binary) output path
   bool csv = false;
   bool optimal_gap = false;
 };
@@ -112,7 +117,8 @@ Cost optimal_cost_for(const Trace& trace, int k) {
 [[noreturn]] void usage(const char* argv0) {
   std::cerr
       << "usage: " << argv0
-      << " [--workload NAME | --trace FILE] [--topology NAME] [--k K]\n"
+      << " [--workload NAME | --trace FILE | --trace-v2 FILE] [--stream]\n"
+         "          [--topology NAME] [--k K]\n"
          "          [--n N] [--requests M] [--seed S] [--csv]\n"
          "          [--shards S] [--partition contiguous|hash]\n"
          "          [--rebalance none|hotpair|watermark] [--epoch N]\n"
@@ -120,6 +126,7 @@ Cost optimal_cost_for(const Trace& trace, int k) {
          "          [--rate R] [--duration T]\n"
          "          [--optimal-gap]\n"
          "          [--dump-tree FILE.dot] [--dump-trace FILE]\n"
+         "          [--dump-trace-v2 FILE]\n"
          "workloads: uniform temporal025 temporal05 temporal075 temporal09\n"
          "           hpc projector facebook elephants rotating\n"
          "topologies: ksplay semisplay centroid binary full optimal\n"
@@ -129,7 +136,14 @@ Cost optimal_cost_for(const Trace& trace, int k) {
          "  --duration seconds (ksplay/semisplay; composes with --shards\n"
          "  and --rebalance; reports sojourn p50/p99/p999 in us)\n"
          "--optimal-gap adds online-cost / optimal-static-cost rows (exact\n"
-         "  Theorem 2 DP on the trace's demand matrix; n <= 4096)\n";
+         "  Theorem 2 DP on the trace's demand matrix; n <= 4096)\n"
+         "--trace-v2 reads the binary san-trace v2 format (io/trace_v2.hpp);\n"
+         "  --dump-trace-v2 writes it\n"
+         "--stream replays without materializing the trace: a generated\n"
+         "  workload is pulled on demand, a --trace-v2 file is mmapped and\n"
+         "  read in chunks, so memory stays O(chunk) at any request count\n"
+         "  (ksplay/semisplay; composes with --shards, --rebalance, and\n"
+         "  --open-loop; per-request percentiles and dumps unavailable)\n";
   std::exit(2);
 }
 
@@ -143,6 +157,8 @@ Options parse(int argc, char** argv) {
     };
     if (arg == "--workload") o.workload = next();
     else if (arg == "--trace") o.trace_path = next();
+    else if (arg == "--trace-v2") o.trace_v2_path = next();
+    else if (arg == "--stream") o.stream = true;
     else if (arg == "--topology") o.topology = next();
     else if (arg == "--k") o.k = std::stoi(next());
     else if (arg == "--n") o.n = std::stoi(next());
@@ -164,6 +180,7 @@ Options parse(int argc, char** argv) {
     else if (arg == "--duration") o.duration = std::stod(next());
     else if (arg == "--dump-tree") o.dump_tree = next();
     else if (arg == "--dump-trace") o.dump_trace = next();
+    else if (arg == "--dump-trace-v2") o.dump_trace_v2 = next();
     else if (arg == "--csv") o.csv = true;
     else if (arg == "--optimal-gap") o.optimal_gap = true;
     else usage(argv[0]);
@@ -264,11 +281,117 @@ int main(int argc, char** argv) {
       o.requests = static_cast<std::size_t>(o.rate * o.duration);
       if (o.requests == 0) throw TreeError("--rate * --duration rounds to 0");
     }
-    Trace trace = o.trace_path.empty()
-                      ? gen_workload(parse_workload(o.workload), o.n,
-                                     o.requests, o.seed)
-                      : read_trace_file(o.trace_path);
+    if (!o.trace_path.empty() && !o.trace_v2_path.empty())
+      throw TreeError("--trace and --trace-v2 are mutually exclusive");
+
+    if (o.stream) {
+      // Single-pass replay: requests are pulled on demand, never
+      // materialized, so the resident set is O(chunk) at any m.
+      if (!o.trace_path.empty())
+        throw TreeError("--stream needs a generated workload or --trace-v2");
+      if (!o.dump_tree.empty() || !o.dump_trace.empty() ||
+          !o.dump_trace_v2.empty() || o.optimal_gap)
+        throw TreeError(
+            "--stream does not compose with dumps or --optimal-gap (they "
+            "need the materialized trace)");
+      if (o.topology != "ksplay" && o.topology != "semisplay")
+        throw TreeError("--stream requires a ksplay or semisplay topology");
+      const RebalancePolicy rebalance = parse_rebalance(o.rebalance);
+      if (rebalance != RebalancePolicy::kNone && o.shards <= 1)
+        throw TreeError("--rebalance needs --shards > 1");
+      if (rebalance != RebalancePolicy::kNone && o.epoch == 0)
+        throw TreeError("--rebalance needs --epoch > 0");
+
+      std::unique_ptr<RequestStream> stream;
+      if (!o.trace_v2_path.empty())
+        stream = std::make_unique<TraceV2Reader>(
+            o.trace_v2_path, TraceV2Reader::Backend::kMmap);
+      else
+        stream = std::make_unique<StreamingWorkload>(
+            parse_workload(o.workload), o.n, o.requests, o.seed);
+
+      const SplayMode mode = o.topology == "semisplay"
+                                 ? SplayMode::kSemiSplayOnly
+                                 : SplayMode::kFullSplay;
+      ShardedNetwork net = ShardedNetwork::balanced(
+          o.k, static_cast<int>(stream->n()), std::max(1, o.shards),
+          parse_partition(o.partition), RotationPolicy{}, mode);
+      RebalanceConfig cfg;
+      cfg.policy = rebalance;
+      cfg.epoch_requests = o.epoch;
+
+      Table out({"metric", "value"});
+      out.add_row({"network", net.name() + (o.open_loop
+                                                ? " (streaming, open-loop)"
+                                                : " (streaming)")});
+      out.add_row({"nodes", std::to_string(stream->n())});
+      if (o.open_loop) {
+        FrontendOptions fopt;
+        if (rebalance != RebalancePolicy::kNone) fopt.rebalance = &cfg;
+        StreamingArrivalSchedule schedule(arrival, o.rate, o.seed);
+        ServeFrontend frontend(net, fopt);
+        const FrontendResult r = frontend.run_stream(*stream, schedule);
+        out.add_row({"requests", std::to_string(r.sim.requests)});
+        out.add_row({"arrival process", arrival_kind_name(arrival)});
+        out.add_row({"offered rate (req/s)", fixed_cell(r.offered_rate)});
+        out.add_row({"achieved rate (req/s)", fixed_cell(r.achieved_rate)});
+        out.add_row({"elapsed (s)", fixed_cell(r.elapsed_seconds)});
+        out.add_row({"sojourn p50 (us)", fixed_cell(r.sim.latency.p50_us)});
+        out.add_row({"sojourn p99 (us)", fixed_cell(r.sim.latency.p99_us)});
+        out.add_row({"sojourn p999 (us)", fixed_cell(r.sim.latency.p999_us)});
+        out.add_row({"sojourn max (us)", fixed_cell(r.sim.latency.max_us)});
+        out.add_row(
+            {"mean cost/request", fixed_cell(r.sim.avg_request_cost())});
+        out.add_row({"total routing", std::to_string(r.sim.routing_cost)});
+        out.add_row({"total rotations", std::to_string(r.sim.rotation_count)});
+        out.add_row(
+            {"cross-shard requests", std::to_string(r.sim.cross_shard)});
+        out.add_row({"handovers", std::to_string(r.handovers)});
+        if (rebalance != RebalancePolicy::kNone) {
+          out.add_row(
+              {"rebalance epochs", std::to_string(r.sim.rebalance_epochs)});
+          out.add_row({"migrations", std::to_string(r.sim.migrations)});
+          out.add_row({"migration cost", std::to_string(r.sim.migration_cost)});
+          out.add_row({"forwards", std::to_string(r.forwards)});
+          out.add_row({"intra-shard fraction (at dispatch)",
+                       fixed_cell(r.sim.post_intra_fraction)});
+        }
+      } else {
+        ShardedRunOptions ropt;
+        if (rebalance != RebalancePolicy::kNone) ropt.rebalance = &cfg;
+        const SimResult res = run_trace_sharded_stream(net, *stream, ropt);
+        out.add_row({"requests", std::to_string(res.requests)});
+        out.add_row({"mean cost/request", fixed_cell(res.avg_request_cost())});
+        out.add_row({"total routing", std::to_string(res.routing_cost)});
+        out.add_row({"total rotations", std::to_string(res.rotation_count)});
+        out.add_row({"total link changes", std::to_string(res.edge_changes)});
+        out.add_row({"cross-shard requests", std::to_string(res.cross_shard)});
+        if (rebalance != RebalancePolicy::kNone) {
+          out.add_row(
+              {"rebalance epochs", std::to_string(res.rebalance_epochs)});
+          out.add_row({"migrations", std::to_string(res.migrations)});
+          out.add_row({"migration cost", std::to_string(res.migration_cost)});
+          out.add_row(
+              {"grand total cost", std::to_string(res.grand_total_cost())});
+          out.add_row({"intra-shard fraction (at dispatch)",
+                       fixed_cell(res.post_intra_fraction)});
+        }
+      }
+      if (o.csv)
+        std::cout << out.to_csv();
+      else
+        out.print();
+      return 0;
+    }
+
+    Trace trace = !o.trace_v2_path.empty()
+                      ? read_trace_v2_file(o.trace_v2_path)
+                      : (o.trace_path.empty()
+                             ? gen_workload(parse_workload(o.workload), o.n,
+                                            o.requests, o.seed)
+                             : read_trace_file(o.trace_path));
     if (!o.dump_trace.empty()) write_trace_file(o.dump_trace, trace);
+    if (!o.dump_trace_v2.empty()) write_trace_v2_file(o.dump_trace_v2, trace);
 
     const TraceStats st = compute_stats(trace);
     const RebalancePolicy rebalance = parse_rebalance(o.rebalance);

@@ -55,6 +55,12 @@ Trace read_trace(std::istream& in) {
     long long src = 0, dst = 0;
     if (!(ls >> src >> dst))
       throw TreeError("read_trace: malformed request line: " + line);
+    // Reject residual non-whitespace: "1 2 junk" is a corrupt record, not
+    // a request (1, 2) — silently dropping the tail would mask truncated
+    // or column-shifted files.
+    std::string rest;
+    if (ls >> rest)
+      throw TreeError("read_trace: trailing garbage on request line: " + line);
     if (src < 1 || src > n || dst < 1 || dst > n)
       throw TreeError("read_trace: node id out of range in: " + line);
     if (src == dst)

@@ -1,0 +1,264 @@
+#include "io/trace_v2.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <istream>
+#include <limits>
+#include <ostream>
+#include <vector>
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include "core/types.hpp"
+
+namespace san {
+namespace {
+
+void store_u32le(unsigned char* p, std::uint32_t v) {
+  p[0] = static_cast<unsigned char>(v);
+  p[1] = static_cast<unsigned char>(v >> 8);
+  p[2] = static_cast<unsigned char>(v >> 16);
+  p[3] = static_cast<unsigned char>(v >> 24);
+}
+
+void store_u64le(unsigned char* p, std::uint64_t v) {
+  store_u32le(p, static_cast<std::uint32_t>(v));
+  store_u32le(p + 4, static_cast<std::uint32_t>(v >> 32));
+}
+
+std::uint32_t load_u32le(const unsigned char* p) {
+  return static_cast<std::uint32_t>(p[0]) |
+         (static_cast<std::uint32_t>(p[1]) << 8) |
+         (static_cast<std::uint32_t>(p[2]) << 16) |
+         (static_cast<std::uint32_t>(p[3]) << 24);
+}
+
+std::uint64_t load_u64le(const unsigned char* p) {
+  return static_cast<std::uint64_t>(load_u32le(p)) |
+         (static_cast<std::uint64_t>(load_u32le(p + 4)) << 32);
+}
+
+void encode_header(unsigned char* hdr, int n, std::uint64_t m) {
+  std::memcpy(hdr, kTraceV2Magic, sizeof(kTraceV2Magic));
+  store_u32le(hdr + 8, static_cast<std::uint32_t>(n));
+  store_u32le(hdr + 12, 0);  // flags
+  store_u64le(hdr + 16, m);
+}
+
+void check_node_count(long long n) {
+  if (n < 2) throw TreeError("trace v2: node count must be >= 2");
+  if (n > std::numeric_limits<NodeId>::max())
+    throw TreeError("trace v2: node count " + std::to_string(n) +
+                    " exceeds the NodeId range");
+}
+
+/// Records per buffered read in the istream backend: 64 KiB chunks keep
+/// the reader's footprint O(1) in m while amortizing stream overhead.
+constexpr std::size_t kReadChunkRecords = 8192;
+
+}  // namespace
+
+void write_trace_v2(std::ostream& out, const Trace& trace) {
+  TraceV2Writer writer(out, trace.n, trace.size());
+  for (const Request& r : trace.requests) writer.append(r);
+  writer.finish();
+}
+
+void write_trace_v2_file(const std::string& path, const Trace& trace) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw TreeError("write_trace_v2_file: cannot open " + path);
+  write_trace_v2(out, trace);
+}
+
+TraceV2Writer::TraceV2Writer(std::ostream& out, int n, std::uint64_t m)
+    : out_(&out), n_(n), want_(m) {
+  check_node_count(n);
+  unsigned char hdr[kTraceV2HeaderBytes];
+  encode_header(hdr, n_, want_);
+  out_->write(reinterpret_cast<const char*>(hdr), sizeof(hdr));
+  if (!*out_) throw TreeError("TraceV2Writer: header write failure");
+}
+
+void TraceV2Writer::append(const Request& r) {
+  if (finished_) throw TreeError("TraceV2Writer: append after finish");
+  if (written_ >= want_)
+    throw TreeError("TraceV2Writer: more records than the declared m=" +
+                    std::to_string(want_));
+  if (r.src < 1 || r.src > n_ || r.dst < 1 || r.dst > n_)
+    throw TreeError("TraceV2Writer: node id out of range");
+  if (r.src == r.dst) throw TreeError("TraceV2Writer: self-loop request");
+  unsigned char rec[kTraceV2RecordBytes];
+  store_u32le(rec, static_cast<std::uint32_t>(r.src));
+  store_u32le(rec + 4, static_cast<std::uint32_t>(r.dst));
+  out_->write(reinterpret_cast<const char*>(rec), sizeof(rec));
+  if (!*out_) throw TreeError("TraceV2Writer: record write failure");
+  ++written_;
+}
+
+void TraceV2Writer::finish() {
+  if (finished_) return;
+  if (written_ != want_)
+    throw TreeError("TraceV2Writer: wrote " + std::to_string(written_) +
+                    " records but the header declared " +
+                    std::to_string(want_));
+  out_->flush();
+  if (!*out_) throw TreeError("TraceV2Writer: flush failure");
+  finished_ = true;
+}
+
+void write_stream_v2_file(const std::string& path, RequestStream& stream) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw TreeError("write_stream_v2_file: cannot open " + path);
+  TraceV2Writer writer(out, stream.n(), stream.size());
+  std::vector<Request> chunk(kReadChunkRecords);
+  while (true) {
+    const std::size_t got = stream.fill(chunk);
+    if (got == 0) break;
+    for (std::size_t i = 0; i < got; ++i) writer.append(chunk[i]);
+  }
+  writer.finish();
+}
+
+void TraceV2Reader::parse_header(const unsigned char* hdr) {
+  if (std::memcmp(hdr, kTraceV2Magic, sizeof(kTraceV2Magic)) != 0)
+    throw TreeError("trace v2: bad magic (not a santrcv2 file)");
+  const std::uint32_t n = load_u32le(hdr + 8);
+  const std::uint32_t flags = load_u32le(hdr + 12);
+  if (flags != 0)
+    throw TreeError("trace v2: unknown flags 0x" + std::to_string(flags) +
+                    " (newer format revision?)");
+  check_node_count(static_cast<long long>(n));
+  n_ = static_cast<int>(n);
+  m_ = load_u64le(hdr + 16);
+  // A fixed-width format cannot hide records: a header whose m does not
+  // fit any real file (m * 8 overflowing off_t) is hostile by definition.
+  if (m_ > (std::numeric_limits<std::uint64_t>::max() - kTraceV2HeaderBytes) /
+               kTraceV2RecordBytes)
+    throw TreeError("trace v2: record count overflows the format");
+}
+
+TraceV2Reader::TraceV2Reader(std::istream& in) : in_(&in) {
+  unsigned char hdr[kTraceV2HeaderBytes];
+  in_->read(reinterpret_cast<char*>(hdr), sizeof(hdr));
+  if (in_->gcount() != static_cast<std::streamsize>(sizeof(hdr)))
+    throw TreeError("trace v2: truncated header");
+  parse_header(hdr);
+}
+
+TraceV2Reader::TraceV2Reader(const std::string& path, Backend backend) {
+  if (backend == Backend::kIstream) {
+    file_.open(path, std::ios::binary | std::ios::ate);
+    if (!file_) throw TreeError("TraceV2Reader: cannot open " + path);
+    const std::uint64_t len = static_cast<std::uint64_t>(file_.tellg());
+    file_.seekg(0);
+    in_ = &file_;
+    unsigned char hdr[kTraceV2HeaderBytes];
+    in_->read(reinterpret_cast<char*>(hdr), sizeof(hdr));
+    if (in_->gcount() != static_cast<std::streamsize>(sizeof(hdr)))
+      throw TreeError("trace v2: truncated header");
+    parse_header(hdr);
+    // The file size is knowable here, so check it against the header the
+    // same way the mmap backend does.
+    if (len != kTraceV2HeaderBytes + m_ * kTraceV2RecordBytes)
+      throw TreeError("trace v2: file size does not match the header (" +
+                      std::to_string(len) + " bytes for m=" +
+                      std::to_string(m_) + ")");
+    return;
+  }
+
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) throw TreeError("TraceV2Reader: cannot open " + path);
+  struct stat st{};
+  if (::fstat(fd, &st) != 0) {
+    ::close(fd);
+    throw TreeError("TraceV2Reader: fstat failed for " + path);
+  }
+  const std::size_t len = static_cast<std::size_t>(st.st_size);
+  if (len < kTraceV2HeaderBytes) {
+    ::close(fd);
+    throw TreeError("trace v2: truncated header");
+  }
+  void* map = ::mmap(nullptr, len, PROT_READ, MAP_PRIVATE, fd, 0);
+  ::close(fd);  // the mapping keeps the file alive
+  if (map == MAP_FAILED)
+    throw TreeError("TraceV2Reader: mmap failed for " + path);
+  map_ = static_cast<const unsigned char*>(map);
+  map_len_ = len;
+  try {
+    parse_header(map_);
+    // The mapping is the whole file, so the size coherence check is exact:
+    // a header claiming records the file does not hold is rejected up
+    // front, not discovered as a fault mid-replay.
+    if (map_len_ != kTraceV2HeaderBytes + m_ * kTraceV2RecordBytes)
+      throw TreeError("trace v2: file size does not match the header (" +
+                      std::to_string(map_len_) + " bytes for m=" +
+                      std::to_string(m_) + ")");
+  } catch (...) {
+    ::munmap(const_cast<unsigned char*>(map_), map_len_);
+    map_ = nullptr;
+    throw;
+  }
+  ::madvise(const_cast<unsigned char*>(map_), map_len_, MADV_SEQUENTIAL);
+}
+
+TraceV2Reader::~TraceV2Reader() {
+  if (map_) ::munmap(const_cast<unsigned char*>(map_), map_len_);
+}
+
+std::size_t TraceV2Reader::fill_from_bytes(const unsigned char* bytes,
+                                           std::size_t records,
+                                           std::span<Request> out) {
+  for (std::size_t i = 0; i < records; ++i) {
+    const std::uint32_t src = load_u32le(bytes + i * kTraceV2RecordBytes);
+    const std::uint32_t dst = load_u32le(bytes + i * kTraceV2RecordBytes + 4);
+    if (src < 1 || src > static_cast<std::uint32_t>(n_) || dst < 1 ||
+        dst > static_cast<std::uint32_t>(n_))
+      throw TreeError("trace v2: node id out of range in record " +
+                      std::to_string(next_ + i));
+    if (src == dst)
+      throw TreeError("trace v2: self-loop request in record " +
+                      std::to_string(next_ + i));
+    out[i] = {static_cast<NodeId>(src), static_cast<NodeId>(dst)};
+  }
+  return records;
+}
+
+std::size_t TraceV2Reader::fill(std::span<Request> out) {
+  const std::uint64_t left = m_ - next_;
+  std::size_t want = static_cast<std::size_t>(
+      std::min<std::uint64_t>(left, out.size()));
+  if (want == 0) return 0;
+
+  if (map_) {
+    const unsigned char* bytes =
+        map_ + kTraceV2HeaderBytes + next_ * kTraceV2RecordBytes;
+    fill_from_bytes(bytes, want, out);
+    next_ += want;
+    return want;
+  }
+
+  want = std::min(want, kReadChunkRecords);
+  std::vector<unsigned char> buf(want * kTraceV2RecordBytes);
+  in_->read(reinterpret_cast<char*>(buf.data()),
+            static_cast<std::streamsize>(buf.size()));
+  const std::size_t got_bytes = static_cast<std::size_t>(in_->gcount());
+  if (got_bytes != buf.size())
+    throw TreeError("trace v2: truncated body (header declared m=" +
+                    std::to_string(m_) + ", file ends at record " +
+                    std::to_string(next_ + got_bytes / kTraceV2RecordBytes) +
+                    ")");
+  fill_from_bytes(buf.data(), want, out);
+  next_ += want;
+  return want;
+}
+
+Trace read_trace_v2_file(const std::string& path,
+                         TraceV2Reader::Backend backend) {
+  TraceV2Reader reader(path, backend);
+  return materialize_stream(reader);
+}
+
+}  // namespace san

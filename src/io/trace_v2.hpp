@@ -1,0 +1,114 @@
+// Binary trace format v2: fixed-width little-endian records behind a
+// self-describing header, replayable in O(chunk) memory.
+//
+// The v1 text format (io/trace_io.hpp) is human-editable but costs ~12
+// bytes of ASCII plus a parse per request and can only be materialized.
+// v2 is the streaming companion:
+//
+//   offset  size  field
+//   0       8     magic "santrcv2"
+//   8       4     u32 LE  n        (node count, ids 1..n)
+//   12      4     u32 LE  flags    (must be 0; readers reject unknown bits)
+//   16      8     u64 LE  m        (record count)
+//   24      8*m   records: u32 LE src, u32 LE dst
+//
+// All integers are little-endian regardless of host byte order (encoded
+// and decoded byte-wise, no type punning). TraceV2Reader implements
+// workload/streaming.hpp's RequestStream, so a file replays through
+// run_trace_stream / run_trace_sharded_stream / ServeFrontend without ever
+// holding more than one chunk of requests; the mmap backend additionally
+// avoids read syscalls and lets the page cache back the replay directly.
+// Readers validate the header hard (magic, version bits, node range,
+// record-count-vs-file-size coherence where the size is knowable) and
+// every record (ids in [1, n], no self-loops): a corrupt or hostile file
+// throws TreeError, it never yields garbage requests.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <fstream>
+#include <iosfwd>
+#include <string>
+
+#include "workload/streaming.hpp"
+
+namespace san {
+
+inline constexpr char kTraceV2Magic[8] = {'s', 'a', 'n', 't',
+                                          'r', 'c', 'v', '2'};
+inline constexpr std::size_t kTraceV2HeaderBytes = 24;
+inline constexpr std::size_t kTraceV2RecordBytes = 8;
+
+/// Streams a Trace out in v2 format. Throws TreeError on stream failure.
+void write_trace_v2(std::ostream& out, const Trace& trace);
+void write_trace_v2_file(const std::string& path, const Trace& trace);
+
+/// Incremental v2 writer for sources that never materialize: header first
+/// (n and m must be known up front — the format is fixed-width, so m is
+/// not discoverable later), then append() per request, then finish().
+class TraceV2Writer {
+ public:
+  TraceV2Writer(std::ostream& out, int n, std::uint64_t m);
+
+  /// Validates ids ([1, n], no self-loop) and writes one record.
+  void append(const Request& r);
+  /// Flushes and verifies exactly m records were appended.
+  void finish();
+
+ private:
+  std::ostream* out_;
+  int n_ = 0;
+  std::uint64_t want_ = 0;
+  std::uint64_t written_ = 0;
+  bool finished_ = false;
+};
+
+/// Drains any RequestStream to a v2 file in O(chunk) memory. Composing
+/// this with TraceStream gives the materialized converter; composing with
+/// read_trace's result converts v1 text to v2 binary.
+void write_stream_v2_file(const std::string& path, RequestStream& stream);
+
+/// Chunked v2 reader; a RequestStream over the file.
+class TraceV2Reader final : public RequestStream {
+ public:
+  enum class Backend {
+    kIstream,  ///< buffered reads from any std::istream
+    kMmap,     ///< read-only file mapping (POSIX); zero-copy decode
+  };
+
+  /// Borrowed-stream reader (header parsed and validated immediately).
+  /// The stream must outlive the reader.
+  explicit TraceV2Reader(std::istream& in);
+  /// File reader with the chosen backend.
+  TraceV2Reader(const std::string& path, Backend backend);
+
+  TraceV2Reader(const TraceV2Reader&) = delete;
+  TraceV2Reader& operator=(const TraceV2Reader&) = delete;
+  ~TraceV2Reader() override;
+
+  int n() const override { return n_; }
+  std::size_t size() const override { return static_cast<std::size_t>(m_); }
+  std::size_t fill(std::span<Request> out) override;
+
+ private:
+  void parse_header(const unsigned char* hdr);
+  std::size_t fill_from_bytes(const unsigned char* bytes, std::size_t records,
+                              std::span<Request> out);
+
+  int n_ = 0;
+  std::uint64_t m_ = 0;
+  std::uint64_t next_ = 0;  ///< records consumed
+
+  std::istream* in_ = nullptr;  ///< borrowed or &file_
+  std::ifstream file_;
+
+  const unsigned char* map_ = nullptr;  ///< mmap backend
+  std::size_t map_len_ = 0;
+};
+
+/// Materializes a whole v2 file (testing / small-scale convenience).
+Trace read_trace_v2_file(const std::string& path,
+                         TraceV2Reader::Backend backend =
+                             TraceV2Reader::Backend::kIstream);
+
+}  // namespace san

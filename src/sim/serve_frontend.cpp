@@ -129,14 +129,24 @@ FrontendResult ServeFrontend::run(const Trace& trace,
                                   std::span<const std::uint64_t> arrivals) {
   if (arrivals.size() != trace.size())
     throw TreeError("ServeFrontend::run: one arrival time per request");
+  TraceStream stream(trace);
+  FixedArrivalSchedule schedule(arrivals);
+  FrontendResult res = run_stream(stream, schedule);
+  // With an unchanged map the dispatch-time counters already are the final
+  // intra fraction; a migrated map needs the full-trace re-scan, which the
+  // single-pass engine cannot perform.
+  if (res.sim.migrations != 0)
+    res.sim.post_intra_fraction =
+        compute_shard_stats(trace, net_.map()).intra_fraction();
+  return res;
+}
+
+FrontendResult ServeFrontend::run_stream(RequestStream& stream,
+                                         ArrivalSchedule& schedule) {
   const int S = net_.num_shards();
-  const std::size_t m = trace.size();
+  const std::size_t total = stream.size();
 
   FrontendResult res;
-  res.sim.requests = m;
-  if (!arrivals.empty() && arrivals.back() > 0)
-    res.offered_rate = static_cast<double>(m) /
-                       (static_cast<double>(arrivals.back()) / 1e9);
 
   std::vector<std::unique_ptr<ShardInbox>> inboxes;  // mutexes don't move
   inboxes.reserve(static_cast<std::size_t>(S));
@@ -234,7 +244,7 @@ FrontendResult ServeFrontend::run(const Trace& trace,
       opt_.rebalance != nullptr && opt_.rebalance->enabled() && S > 1;
   RebalanceState state(adaptive ? *opt_.rebalance : RebalanceConfig{});
   const std::size_t epoch =
-      adaptive ? opt_.rebalance->epoch_requests : m + 1;
+      adaptive ? opt_.rebalance->epoch_requests : total + 1;
   const RebalanceCostHints base_hints = net_.cost_hints();
   const double decay = adaptive ? opt_.rebalance->window_decay : 1.0;
   // Exponentially aged measured costs (same scheme as run_trace_sharded):
@@ -249,79 +259,93 @@ FrontendResult ServeFrontend::run(const Trace& trace,
       std::this_thread::yield();
   };
 
-  std::size_t dispatched = 0;
-  std::size_t cross_dispatched = 0;
-  for (std::size_t i = 0; i < m; ++i) {
-    // Pace to the arrival schedule: sleep for coarse gaps, spin out the
-    // last stretch (sleep_until wakes late by scheduler quanta, which
-    // would throttle multi-million-req/s schedules).
-    const std::uint64_t due = arrivals[i];
-    if (due > 0) {
-      constexpr std::uint64_t kSpinWindowNs = 50'000;
-      std::uint64_t now = now_ns();
-      if (due > now + kSpinWindowNs)
-        std::this_thread::sleep_for(
-            std::chrono::nanoseconds(due - now - kSpinWindowNs));
-      while (now_ns() < due) {
-        // busy-wait: the dispatcher is the clock of the experiment
+  // The epoch barrier: drain the pipeline, measure, plan, apply. The
+  // dispatcher keeps the arrival clock running, so this pause is charged
+  // to every request that arrives during it.
+  auto epoch_barrier = [&](std::size_t dispatched) {
+    quiesce(dispatched);
+    Cost ascent = 0, intra_c = 0;
+    std::size_t crossn = 0, intran = 0;
+    for (const WorkerState& ws : workers) {
+      ascent += ws.ascent_cost;
+      intra_c += ws.intra_cost;
+      crossn += ws.cross_requests;
+      intran += ws.intra_requests;
+    }
+    cross_cost_w =
+        cross_cost_w * decay + static_cast<double>(ascent - prev_ascent);
+    intra_cost_w =
+        intra_cost_w * decay + static_cast<double>(intra_c - prev_intra_cost);
+    cross_reqs_w =
+        cross_reqs_w * decay + static_cast<double>(crossn - prev_cross);
+    intra_reqs_w =
+        intra_reqs_w * decay + static_cast<double>(intran - prev_intra);
+    prev_ascent = ascent;
+    prev_intra_cost = intra_c;
+    prev_cross = crossn;
+    prev_intra = intran;
+    RebalanceCostHints hints = base_hints;
+    if (cross_reqs_w > 0.0 && intra_reqs_w > 0.0)
+      hints.cross_penalty = std::max(
+          0.0, cross_cost_w / cross_reqs_w - intra_cost_w / intra_reqs_w);
+    RebalancePlan plan = state.epoch(net_.map(), hints);
+    if (plan.triggered) {
+      ++res.sim.rebalance_epochs;
+      if (!plan.migrations.empty()) {
+        const MigrationResult applied =
+            net_.apply_migrations(std::move(plan.migrations));
+        res.sim.migrations += applied.migrated;
+        res.sim.migration_cost += applied.total_cost();
       }
     }
-    const Request& r = trace.requests[i];
-    const int a = net_.map().shard_of(r.src);
-    if (net_.map().shard_of(r.dst) != a) ++cross_dispatched;
-    QueueItem item;
-    item.src = r.src;
-    item.dst = r.dst;
-    item.arrival_ns = arrivals[i];
-    inboxes[static_cast<std::size_t>(a)]->push_main(item);
-    ++dispatched;
-    if (adaptive) {
-      state.observe(r, net_.map());
-      if (dispatched % epoch == 0 && dispatched < m) {
-        // Epoch barrier: drain the pipeline, measure, plan, apply. The
-        // dispatcher keeps the arrival clock running, so this pause is
-        // charged to every request that arrives during it.
-        quiesce(dispatched);
-        Cost ascent = 0, intra_c = 0;
-        std::size_t crossn = 0, intran = 0;
-        for (const WorkerState& ws : workers) {
-          ascent += ws.ascent_cost;
-          intra_c += ws.intra_cost;
-          crossn += ws.cross_requests;
-          intran += ws.intra_requests;
+  };
+
+  std::size_t dispatched = 0;
+  std::size_t cross_dispatched = 0;
+  std::uint64_t last_arrival_ns = 0;
+  std::vector<Request> chunk(std::min(total, kStreamChunkRequests));
+  while (true) {
+    const std::size_t got = stream.fill(chunk);
+    if (got == 0) break;
+    for (std::size_t i = 0; i < got; ++i) {
+      // Pace to the arrival schedule: sleep for coarse gaps, spin out the
+      // last stretch (sleep_until wakes late by scheduler quanta, which
+      // would throttle multi-million-req/s schedules).
+      const std::uint64_t due = schedule.next();
+      last_arrival_ns = due;
+      if (due > 0) {
+        constexpr std::uint64_t kSpinWindowNs = 50'000;
+        std::uint64_t now = now_ns();
+        if (due > now + kSpinWindowNs)
+          std::this_thread::sleep_for(
+              std::chrono::nanoseconds(due - now - kSpinWindowNs));
+        while (now_ns() < due) {
+          // busy-wait: the dispatcher is the clock of the experiment
         }
-        cross_cost_w = cross_cost_w * decay +
-                       static_cast<double>(ascent - prev_ascent);
-        intra_cost_w = intra_cost_w * decay +
-                       static_cast<double>(intra_c - prev_intra_cost);
-        cross_reqs_w = cross_reqs_w * decay +
-                       static_cast<double>(crossn - prev_cross);
-        intra_reqs_w = intra_reqs_w * decay +
-                       static_cast<double>(intran - prev_intra);
-        prev_ascent = ascent;
-        prev_intra_cost = intra_c;
-        prev_cross = crossn;
-        prev_intra = intran;
-        RebalanceCostHints hints = base_hints;
-        if (cross_reqs_w > 0.0 && intra_reqs_w > 0.0)
-          hints.cross_penalty =
-              std::max(0.0, cross_cost_w / cross_reqs_w -
-                                intra_cost_w / intra_reqs_w);
-        RebalancePlan plan = state.epoch(net_.map(), hints);
-        if (plan.triggered) {
-          ++res.sim.rebalance_epochs;
-          if (!plan.migrations.empty()) {
-            const MigrationResult applied =
-                net_.apply_migrations(std::move(plan.migrations));
-            res.sim.migrations += applied.migrated;
-            res.sim.migration_cost += applied.total_cost();
-          }
-        }
+      }
+      const Request& r = chunk[i];
+      const int a = net_.map().shard_of(r.src);
+      if (net_.map().shard_of(r.dst) != a) ++cross_dispatched;
+      QueueItem item;
+      item.src = r.src;
+      item.dst = r.dst;
+      item.arrival_ns = due;
+      inboxes[static_cast<std::size_t>(a)]->push_main(item);
+      ++dispatched;
+      if (adaptive) {
+        state.observe(r, net_.map());
+        if (dispatched % epoch == 0 && dispatched < total)
+          epoch_barrier(dispatched);
       }
     }
   }
 
-  quiesce(m);
+  res.sim.requests = dispatched;
+  if (dispatched > 0 && last_arrival_ns > 0)
+    res.offered_rate = static_cast<double>(dispatched) /
+                       (static_cast<double>(last_arrival_ns) / 1e9);
+
+  quiesce(dispatched);
   res.elapsed_seconds = static_cast<double>(now_ns()) / 1e9;
   for (auto& inbox : inboxes) inbox->close();
   for (std::thread& t : threads) t.join();
@@ -338,17 +362,17 @@ FrontendResult ServeFrontend::run(const Trace& trace,
   }
   res.sim.cross_shard = static_cast<Cost>(cross_dispatched);
   net_.note_cross_served(static_cast<Cost>(cross_dispatched));
-  res.achieved_rate = res.elapsed_seconds > 0.0
-                          ? static_cast<double>(m) / res.elapsed_seconds
-                          : 0.0;
-  if (res.sim.migrations == 0)
-    res.sim.post_intra_fraction =
-        m == 0 ? 0.0
-               : 1.0 - static_cast<double>(cross_dispatched) /
-                           static_cast<double>(m);
-  else
-    res.sim.post_intra_fraction =
-        compute_shard_stats(trace, net_.map()).intra_fraction();
+  res.achieved_rate =
+      res.elapsed_seconds > 0.0
+          ? static_cast<double>(dispatched) / res.elapsed_seconds
+          : 0.0;
+  // Dispatch-time intra fraction: the fraction of requests that were
+  // intra-shard under the map they were routed by. The Trace& adapter
+  // upgrades this to a final-map re-scan when migrations occurred.
+  res.sim.post_intra_fraction =
+      dispatched == 0 ? 0.0
+                      : 1.0 - static_cast<double>(cross_dispatched) /
+                                  static_cast<double>(dispatched);
   if (res.sojourn.count() > 0) {
     res.sim.latency.measured = true;
     res.sim.latency.mean_us = res.sojourn.mean() / 1e3;

@@ -50,6 +50,7 @@
 #include "sim/sharded_network.hpp"
 #include "sim/simulator.hpp"
 #include "stats/latency_histogram.hpp"
+#include "workload/arrival.hpp"
 
 namespace san {
 
@@ -96,9 +97,20 @@ class ServeFrontend {
   /// nanoseconds after the run starts (gen_arrival_times produces the
   /// schedule; all-zero = saturation). Blocks until every request has
   /// completed. Throws TreeError when the sizes disagree or the options
-  /// are invalid.
+  /// are invalid. Thin adapter over run_stream (TraceStream +
+  /// FixedArrivalSchedule), plus a final-map post_intra_fraction re-scan
+  /// when migrations occurred — the only thing a single-pass stream
+  /// cannot reproduce.
   FrontendResult run(const Trace& trace,
                      std::span<const std::uint64_t> arrivals);
+
+  /// Streaming engine: pulls requests from `stream` in O(chunk) memory and
+  /// one arrival timestamp per request from `schedule`, so an m = 10^8
+  /// open-loop run needs neither the materialized trace nor the 800 MB
+  /// arrival vector. Identical serving machinery to run() — workers,
+  /// mailboxes, quiesce barriers, epoch placement — the only divergence is
+  /// post_intra_fraction, computed from dispatch-time counters.
+  FrontendResult run_stream(RequestStream& stream, ArrivalSchedule& schedule);
 
  private:
   ShardedNetwork& net_;

@@ -41,6 +41,10 @@ SimResult run_trace(AnyNetwork& net, const Trace& trace) {
   return net.visit([&](auto& n) { return run_trace(n, trace); });
 }
 
+SimResult run_trace_stream(AnyNetwork& net, RequestStream& stream) {
+  return net.visit([&](auto& n) { return run_trace_stream(n, stream); });
+}
+
 SimResult run_trace_static(const KAryTree& tree, const Trace& trace) {
   SimResult res;
   for (const Request& r : trace.requests) {
@@ -120,16 +124,43 @@ ChunkSplit drain_chunk(ShardedNetwork& net, std::span<const Request> chunk,
 
 }  // namespace
 
-SimResult run_trace_sharded(ShardedNetwork& net, const Trace& trace,
-                            const ShardedRunOptions& opt) {
+namespace {
+
+/// Pulls from `stream` until `out` is full or the stream ends; returns how
+/// many requests landed. A single fill() may legally return short, but the
+/// epoch machinery needs exact epoch-sized chunks so the streamed and
+/// materialized paths place every barrier identically.
+std::size_t fill_exact(RequestStream& stream, std::span<Request> out) {
+  std::size_t have = 0;
+  while (have < out.size()) {
+    const std::size_t got = stream.fill(out.subspan(have));
+    if (got == 0) break;
+    have += got;
+  }
+  return have;
+}
+
+}  // namespace
+
+SimResult run_trace_sharded_stream(ShardedNetwork& net, RequestStream& stream,
+                                   const ShardedRunOptions& opt) {
   SimResult res;
-  res.requests = trace.size();
-  const std::span<const Request> all(trace.requests);
+  const std::size_t total = stream.size();
 
   const bool adaptive = opt.rebalance != nullptr && opt.rebalance->enabled() &&
                         net.num_shards() > 1;
   if (!adaptive) {
-    drain_chunk(net, all, opt, res);
+    // Chunking is cost-invariant (additive counters, per-shard order
+    // preserved across boundaries), so the static path streams in fixed
+    // chunks and still matches the one-big-chunk materialized drain bit
+    // for bit.
+    std::vector<Request> buf(std::min(total, kStreamChunkRequests));
+    while (true) {
+      const std::size_t got = fill_exact(stream, buf);
+      if (got == 0) break;
+      drain_chunk(net, std::span<const Request>(buf.data(), got), opt, res);
+      res.requests += got;
+    }
   } else {
     // Rebalance epochs: drain a chunk, account it into the sliding window,
     // let the trigger decide at the barrier, apply the batch, resume. The
@@ -141,11 +172,14 @@ SimResult run_trace_sharded(ShardedNetwork& net, const Trace& trace,
     const double decay = opt.rebalance->window_decay;
     double cross_cost = 0.0, intra_cost = 0.0;
     double cross_reqs = 0.0, intra_reqs = 0.0;
-    for (std::size_t begin = 0; begin < all.size(); begin += epoch) {
-      const std::span<const Request> chunk =
-          all.subspan(begin, std::min(epoch, all.size() - begin));
+    std::vector<Request> buf(std::min(total, epoch));
+    while (true) {
+      const std::size_t got = fill_exact(stream, buf);
+      if (got == 0) break;
+      const std::span<const Request> chunk(buf.data(), got);
       const ChunkSplit split = drain_chunk(net, chunk, opt, res);
-      if (begin + epoch >= all.size()) break;
+      res.requests += got;
+      if (res.requests >= total || got < epoch) break;
       // Aged at the same rate as the pair window, so the cost measurement
       // tracks the topology the upcoming plan will actually serve instead
       // of averaging in the long-gone cold-start epochs.
@@ -182,15 +216,25 @@ SimResult run_trace_sharded(ShardedNetwork& net, const Trace& trace,
     }
   }
 
+  // Dispatch-time intra fraction from the drain counters. When nodes
+  // migrated this reflects the maps requests were actually served under;
+  // the Trace& adapter upgrades it to a final-map re-scan, which a
+  // single-pass stream cannot do.
+  res.post_intra_fraction =
+      res.requests == 0
+          ? 0.0
+          : 1.0 - static_cast<double>(res.cross_shard) /
+                      static_cast<double>(res.requests);
+  return res;
+}
+
+SimResult run_trace_sharded(ShardedNetwork& net, const Trace& trace,
+                            const ShardedRunOptions& opt) {
+  TraceStream stream(trace);
+  SimResult res = run_trace_sharded_stream(net, stream, opt);
   // With an unchanged map the final intra fraction is already in the drain
   // counters; only an actually-migrated map needs the full-trace re-scan.
-  if (res.migrations == 0)
-    res.post_intra_fraction =
-        res.requests == 0
-            ? 0.0
-            : 1.0 - static_cast<double>(res.cross_shard) /
-                        static_cast<double>(res.requests);
-  else
+  if (res.migrations != 0)
     res.post_intra_fraction =
         compute_shard_stats(trace, net.map()).intra_fraction();
   return res;

@@ -13,11 +13,19 @@
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
 #include "sim/any_network.hpp"
 #include "workload/request.hpp"
+#include "workload/streaming.hpp"
 
 namespace san {
+
+/// Requests pulled per chunk by the streaming replay loops. Bounds the
+/// simulator's working set at O(chunk) regardless of m; chunking is
+/// cost-invariant (per-shard op order and every additive counter are
+/// unchanged by where the chunk boundaries fall).
+inline constexpr std::size_t kStreamChunkRequests = 8192;
 
 /// Tail-latency summary attached to results that were measured under an
 /// open-loop arrival process (sim/serve_frontend.hpp). Latency of one
@@ -76,30 +84,45 @@ struct SimResult {
   }
 };
 
-/// Replays `trace` over `net`, mutating it. Monomorphic per network type:
-/// works on any object with a `ServeResult serve(NodeId, NodeId)` member
-/// (all concrete networks, ShardedNetwork, and the virtual Network escape
-/// hatch alike).
+/// Replays a request stream over `net`, mutating it, pulling one chunk at
+/// a time — O(kStreamChunkRequests) memory regardless of the stream
+/// length. Monomorphic per network type: works on any object with a
+/// `ServeResult serve(NodeId, NodeId)` member (all concrete networks,
+/// ShardedNetwork, and the virtual Network escape hatch alike).
 template <typename Net>
-SimResult run_trace(Net& net, const Trace& trace) {
+SimResult run_trace_stream(Net& net, RequestStream& stream) {
   SimResult res;
   Cost cross_before = 0;
   if constexpr (requires { net.cross_shard_served(); })
     cross_before = net.cross_shard_served();
-  for (const Request& r : trace.requests) {
-    const ServeResult s = net.serve(r.src, r.dst);
-    res.routing_cost += s.routing_cost;
-    res.rotation_count += s.rotations;
-    res.edge_changes += s.edge_changes;
-    ++res.requests;
+  std::vector<Request> chunk(kStreamChunkRequests);
+  while (true) {
+    const std::size_t got = stream.fill(chunk);
+    if (got == 0) break;
+    for (std::size_t i = 0; i < got; ++i) {
+      const ServeResult s = net.serve(chunk[i].src, chunk[i].dst);
+      res.routing_cost += s.routing_cost;
+      res.rotation_count += s.rotations;
+      res.edge_changes += s.edge_changes;
+    }
+    res.requests += got;
   }
   if constexpr (requires { net.cross_shard_served(); })
     res.cross_shard = net.cross_shard_served() - cross_before;
   return res;
 }
 
+/// Materialized adapter: identical serve order, hence identical costs —
+/// run_trace(net, trace) is run_trace_stream over a TraceStream.
+template <typename Net>
+SimResult run_trace(Net& net, const Trace& trace) {
+  TraceStream stream(trace);
+  return run_trace_stream(net, stream);
+}
+
 /// Single visit, then the monomorphic loop above on the held alternative.
 SimResult run_trace(AnyNetwork& net, const Trace& trace);
+SimResult run_trace_stream(AnyNetwork& net, RequestStream& stream);
 
 /// Static-tree shortcut (used by benches to cost a fixed topology against
 /// a long trace).
@@ -128,5 +151,17 @@ struct ShardedRunOptions {
 /// deterministically and planning runs at the barrier on the caller.
 SimResult run_trace_sharded(ShardedNetwork& net, const Trace& trace,
                             const ShardedRunOptions& opt = {});
+
+/// Streaming sharded pipeline: pulls epoch-aligned chunks from `stream`
+/// and feeds the same drain/barrier machinery, so costs are bit-identical
+/// to run_trace_sharded over the materialized trace. Memory is O(chunk +
+/// shard queues), independent of the stream length. One documented
+/// divergence: post_intra_fraction is computed from dispatch-time drain
+/// counters (the fraction of requests that were intra-shard when served) —
+/// a single-pass stream cannot be re-scanned under the final map, so the
+/// Trace& overload above performs that re-scan in its adapter when
+/// migrations occurred.
+SimResult run_trace_sharded_stream(ShardedNetwork& net, RequestStream& stream,
+                                   const ShardedRunOptions& opt = {});
 
 }  // namespace san

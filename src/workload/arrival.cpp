@@ -1,20 +1,13 @@
 #include "workload/arrival.hpp"
 
 #include <cmath>
-#include <random>
+
+#include "core/rng.hpp"
 
 namespace san {
 namespace {
 
 constexpr double kNsPerSec = 1e9;
-
-/// Uniform double in (0, 1], built from the top 53 bits of a raw RNG word
-/// so the sequence is identical across standard libraries (std::
-/// *_distribution algorithms are implementation-defined). The +1 keeps 0
-/// out of the range, making -log(u) finite.
-double uniform_open(std::mt19937_64& rng) {
-  return (static_cast<double>(rng() >> 11) + 1.0) * 0x1.0p-53;
-}
 
 /// Exponential variate with the given mean.
 double exponential(std::mt19937_64& rng, double mean) {
@@ -26,51 +19,6 @@ double exponential(std::mt19937_64& rng, double mean) {
 double pareto(std::mt19937_64& rng, double alpha, double mean) {
   const double xm = mean * (alpha - 1.0) / alpha;
   return xm / std::pow(uniform_open(rng), 1.0 / alpha);
-}
-
-std::vector<std::uint64_t> poisson_times(double rate, std::size_t m,
-                                         std::uint64_t seed) {
-  std::mt19937_64 rng(seed);
-  std::vector<std::uint64_t> times;
-  times.reserve(m);
-  const double mean_gap_ns = kNsPerSec / rate;
-  double t = 0.0;
-  for (std::size_t i = 0; i < m; ++i) {
-    t += exponential(rng, mean_gap_ns);
-    times.push_back(static_cast<std::uint64_t>(t));
-  }
-  return times;
-}
-
-std::vector<std::uint64_t> bursty_times(double rate, std::size_t m,
-                                        std::uint64_t seed) {
-  std::mt19937_64 rng(seed);
-  std::vector<std::uint64_t> times;
-  times.reserve(m);
-  // ON periods arrive at rate / f; OFF periods are silent and last
-  // (1 - f) / f times as long on average, so the long-run mean is `rate`.
-  const double on_rate = rate / kBurstyOnFraction;
-  const double mean_gap_ns = kNsPerSec / on_rate;
-  const double mean_on_ns = kBurstyMeanOnSeconds * kNsPerSec;
-  const double mean_off_ns =
-      mean_on_ns * (1.0 - kBurstyOnFraction) / kBurstyOnFraction;
-  double t = 0.0;
-  double on_end = 0.0;
-  while (times.size() < m) {
-    // Draw the next ON window (possibly after an OFF gap).
-    if (t >= on_end) {
-      if (!times.empty() || t > 0.0)
-        t += pareto(rng, kBurstyParetoShape, mean_off_ns);
-      on_end = t + pareto(rng, kBurstyParetoShape, mean_on_ns);
-    }
-    while (times.size() < m) {
-      t += exponential(rng, mean_gap_ns);
-      if (t >= on_end) break;  // arrival falls past the window: drop to OFF
-      times.push_back(static_cast<std::uint64_t>(t));
-    }
-    t = on_end;
-  }
-  return times;
 }
 
 }  // namespace
@@ -87,17 +35,62 @@ const char* arrival_kind_name(ArrivalKind kind) {
   return "?";
 }
 
+std::uint64_t FixedArrivalSchedule::next() {
+  if (pos_ >= times_.size())
+    throw TreeError("FixedArrivalSchedule: pulled past the end");
+  return times_[pos_++];
+}
+
+StreamingArrivalSchedule::StreamingArrivalSchedule(ArrivalKind kind,
+                                                   double rate_per_sec,
+                                                   std::uint64_t seed)
+    : kind_(kind), rng_(seed) {
+  if (kind_ == ArrivalKind::kSaturation) return;
+  if (!(rate_per_sec > 0.0))
+    throw TreeError("gen_arrival_times: rate must be positive");
+  if (kind_ == ArrivalKind::kPoisson) {
+    mean_gap_ns_ = kNsPerSec / rate_per_sec;
+    return;
+  }
+  // ON periods arrive at rate / f; OFF periods are silent and last
+  // (1 - f) / f times as long on average, so the long-run mean is `rate`.
+  const double on_rate = rate_per_sec / kBurstyOnFraction;
+  mean_gap_ns_ = kNsPerSec / on_rate;
+  mean_on_ns_ = kBurstyMeanOnSeconds * kNsPerSec;
+  mean_off_ns_ = mean_on_ns_ * (1.0 - kBurstyOnFraction) / kBurstyOnFraction;
+}
+
+std::uint64_t StreamingArrivalSchedule::next() {
+  if (kind_ == ArrivalKind::kSaturation) return 0;
+  if (kind_ == ArrivalKind::kPoisson) {
+    t_ += exponential(rng_, mean_gap_ns_);
+    return static_cast<std::uint64_t>(t_);
+  }
+  // Bursty: draws happen in emission order, so pulling one timestamp at a
+  // time replays the materialized state machine exactly.
+  for (;;) {
+    // Draw the next ON window (possibly after an OFF gap; the very first
+    // window starts at t = 0 with no gap).
+    if (t_ >= on_end_) {
+      if (started_) t_ += pareto(rng_, kBurstyParetoShape, mean_off_ns_);
+      started_ = true;
+      on_end_ = t_ + pareto(rng_, kBurstyParetoShape, mean_on_ns_);
+    }
+    t_ += exponential(rng_, mean_gap_ns_);
+    if (t_ < on_end_) return static_cast<std::uint64_t>(t_);
+    t_ = on_end_;  // arrival falls past the window: drop to OFF
+  }
+}
+
 std::vector<std::uint64_t> gen_arrival_times(ArrivalKind kind,
                                              double rate_per_sec,
                                              std::size_t m,
                                              std::uint64_t seed) {
-  if (kind == ArrivalKind::kSaturation)
-    return std::vector<std::uint64_t>(m, 0);
-  if (!(rate_per_sec > 0.0))
-    throw TreeError("gen_arrival_times: rate must be positive");
-  return kind == ArrivalKind::kPoisson
-             ? poisson_times(rate_per_sec, m, seed)
-             : bursty_times(rate_per_sec, m, seed);
+  StreamingArrivalSchedule schedule(kind, rate_per_sec, seed);
+  std::vector<std::uint64_t> times;
+  times.reserve(m);
+  for (std::size_t i = 0; i < m; ++i) times.push_back(schedule.next());
+  return times;
 }
 
 }  // namespace san

@@ -29,6 +29,8 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <random>
+#include <span>
 #include <vector>
 
 #include "core/types.hpp"
@@ -52,10 +54,58 @@ inline constexpr double kBurstyParetoShape = 1.5;
 /// Mean ON period length in seconds.
 inline constexpr double kBurstyMeanOnSeconds = 0.020;
 
+/// Pull-based arrival-time source: each next() yields the intended
+/// arrival timestamp (nanoseconds from t = 0, monotonically nondecreasing)
+/// of the next request. The streaming frontend consumes timestamps one at
+/// a time, so an m = 10^8 run never materializes the 800 MB vector the
+/// span-based API would require.
+class ArrivalSchedule {
+ public:
+  virtual ~ArrivalSchedule() = default;
+  virtual std::uint64_t next() = 0;
+};
+
+/// Replays a materialized schedule. The span must outlive the object;
+/// pulling past the end throws TreeError (the frontend pulls exactly one
+/// timestamp per request, so this fires only on a caller-side mismatch).
+class FixedArrivalSchedule final : public ArrivalSchedule {
+ public:
+  explicit FixedArrivalSchedule(std::span<const std::uint64_t> times)
+      : times_(times) {}
+  std::uint64_t next() override;
+
+ private:
+  std::span<const std::uint64_t> times_;
+  std::size_t pos_ = 0;
+};
+
+/// Generates the arrival process on demand: the first m pulls are
+/// bit-identical to gen_arrival_times(kind, rate, m, seed) for every m
+/// (the generators draw in emission order, so their sequences are
+/// prefix-stable). O(1) state regardless of how many timestamps are
+/// pulled. Throws TreeError on a nonpositive rate for kPoisson / kBursty.
+class StreamingArrivalSchedule final : public ArrivalSchedule {
+ public:
+  StreamingArrivalSchedule(ArrivalKind kind, double rate_per_sec,
+                           std::uint64_t seed);
+  std::uint64_t next() override;
+
+ private:
+  ArrivalKind kind_;
+  std::mt19937_64 rng_;
+  double mean_gap_ns_ = 0.0;  ///< mean interarrival inside an ON window
+  double mean_on_ns_ = 0.0;   ///< mean ON window length (kBursty only)
+  double mean_off_ns_ = 0.0;  ///< mean OFF gap length (kBursty only)
+  double t_ = 0.0;            ///< current clock, ns
+  double on_end_ = 0.0;       ///< current ON window's end, ns (kBursty)
+  bool started_ = false;      ///< true once the first window was drawn
+};
+
 /// Generates `m` monotonically nondecreasing arrival timestamps in
 /// nanoseconds from t = 0, deterministic given (kind, rate, m, seed).
 /// `rate_per_sec` must be positive for kPoisson / kBursty and is ignored
-/// for kSaturation. Throws TreeError on invalid arguments.
+/// for kSaturation. Throws TreeError on invalid arguments. Materializes
+/// the first m pulls of a StreamingArrivalSchedule.
 std::vector<std::uint64_t> gen_arrival_times(ArrivalKind kind,
                                              double rate_per_sec,
                                              std::size_t m,

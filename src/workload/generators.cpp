@@ -6,7 +6,20 @@
 #include <random>
 
 #include "core/types.hpp"
+#include "workload/streaming.hpp"
 #include "workload/zipf.hpp"
+
+// Every workload body below is a coroutine (co_*) yielding exactly m
+// requests; the public gen_* functions materialize it and StreamingWorkload
+// pulls from it on demand. One body serves both paths, so the streamed and
+// materialized sequences are bit-identical by construction. The coroutines
+// draw from their RNG in exactly the order the historical loop bodies did —
+// when editing, keep every draw strictly before its dependent co_yield, or
+// the golden cost tables shift.
+//
+// Argument validation lives in the make_* factories (plain functions), not
+// in the coroutine bodies: a coroutine body only runs on first resume, and
+// bad arguments should throw at construction.
 
 namespace san {
 namespace {
@@ -23,37 +36,42 @@ Request fresh_uniform_pair(int n, std::mt19937_64& rng) {
   return {u, v};
 }
 
-}  // namespace
-
-Trace gen_uniform(int n, std::size_t m, std::uint64_t seed) {
-  if (n < 2) throw TreeError("gen_uniform needs n >= 2");
-  std::mt19937_64 rng(seed);
+Trace drain(int n, std::size_t m, RequestGen gen) {
   Trace t;
   t.n = n;
   t.requests.reserve(m);
-  for (std::size_t i = 0; i < m; ++i)
-    t.requests.push_back(fresh_uniform_pair(n, rng));
+  Request r;
+  while (gen.next(r)) t.requests.push_back(r);
   return t;
 }
 
-Trace gen_temporal(int n, std::size_t m, double p, std::uint64_t seed) {
-  if (n < 2) throw TreeError("gen_temporal needs n >= 2");
-  if (p < 0.0 || p >= 1.0) throw TreeError("gen_temporal needs 0 <= p < 1");
+RequestGen co_uniform(int n, std::size_t m, std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  for (std::size_t i = 0; i < m; ++i) co_yield fresh_uniform_pair(n, rng);
+}
+
+RequestGen make_uniform(int n, std::size_t m, std::uint64_t seed) {
+  if (n < 2) throw TreeError("gen_uniform needs n >= 2");
+  return co_uniform(n, m, seed);
+}
+
+RequestGen co_temporal(int n, std::size_t m, double p, std::uint64_t seed) {
   std::mt19937_64 rng(seed);
   std::uniform_real_distribution<double> coin(0.0, 1.0);
-  Trace t;
-  t.n = n;
-  t.requests.reserve(m);
   Request last = fresh_uniform_pair(n, rng);
   for (std::size_t i = 0; i < m; ++i) {
     if (i == 0 || coin(rng) >= p) last = fresh_uniform_pair(n, rng);
-    t.requests.push_back(last);
+    co_yield last;
   }
-  return t;
 }
 
-Trace gen_hpc(int n, std::size_t m, std::uint64_t seed) {
-  if (n < 8) throw TreeError("gen_hpc needs n >= 8");
+RequestGen make_temporal(int n, std::size_t m, double p, std::uint64_t seed) {
+  if (n < 2) throw TreeError("gen_temporal needs n >= 2");
+  if (p < 0.0 || p >= 1.0) throw TreeError("gen_temporal needs 0 <= p < 1");
+  return co_temporal(n, m, p, seed);
+}
+
+RequestGen co_hpc(int n, std::size_t m, std::uint64_t seed) {
   std::mt19937_64 rng(seed);
   std::uniform_real_distribution<double> coin(0.0, 1.0);
 
@@ -115,19 +133,18 @@ Trace gen_hpc(int n, std::size_t m, std::uint64_t seed) {
   // for HPC (Section 5.1: low temporal locality; Table 1: static
   // demand-aware trees excel).
   auto rank_picker = node_dist(n);
-  Trace t;
-  t.n = n;
-  t.requests.reserve(m);
+  std::size_t count = 0;
   bool forward = true;
-  while (t.requests.size() < m) {
+  while (count < m) {
     if (coin(rng) < 0.30) {
       // Collective (reduce or broadcast) rooted at rank 0.
       const bool gather = coin(rng) < 0.5;
-      for (int i = 0; i < n / 3 && t.requests.size() < m; ++i) {
+      for (int i = 0; i < n / 3 && count < m; ++i) {
         NodeId peer = rank_picker(rng);
         while (peer == node_of[1]) peer = rank_picker(rng);
-        t.requests.push_back(gather ? Request{peer, node_of[1]}
-                                    : Request{node_of[1], peer});
+        co_yield(gather ? Request{peer, node_of[1]}
+                        : Request{node_of[1], peer});
+        ++count;
       }
       continue;
     }
@@ -135,8 +152,9 @@ Trace gen_hpc(int n, std::size_t m, std::uint64_t seed) {
       const Request& pair = stencil[pi];
       if (coin(rng) * 8 >= weight[pi]) continue;
       if (coin(rng) < 0.08) {
-        t.requests.push_back(fresh_uniform_pair(n, rng));  // noise
-        if (t.requests.size() >= m) break;
+        co_yield fresh_uniform_pair(n, rng);  // noise
+        ++count;
+        if (count >= m) break;
       }
       // One halo exchange is a short message train (send, reply, send):
       // directions alternate, so consecutive requests are never identical
@@ -144,18 +162,22 @@ Trace gen_hpc(int n, std::size_t m, std::uint64_t seed) {
       const Request fwd = forward ? pair : Request{pair.dst, pair.src};
       const Request rev{fwd.dst, fwd.src};
       for (const Request& msg : {fwd, rev, fwd}) {
-        t.requests.push_back(msg);
-        if (t.requests.size() >= m) break;
+        co_yield msg;
+        ++count;
+        if (count >= m) break;
       }
-      if (t.requests.size() >= m) break;
+      if (count >= m) break;
     }
     forward = !forward;
   }
-  return t;
 }
 
-Trace gen_projector(int n, std::size_t m, std::uint64_t seed) {
-  if (n < 4) throw TreeError("gen_projector needs n >= 4");
+RequestGen make_hpc(int n, std::size_t m, std::uint64_t seed) {
+  if (n < 8) throw TreeError("gen_hpc needs n >= 8");
+  return co_hpc(n, m, seed);
+}
+
+RequestGen co_projector(int n, std::size_t m, std::uint64_t seed) {
   std::mt19937_64 rng(seed);
   std::uniform_real_distribution<double> coin(0.0, 1.0);
 
@@ -170,43 +192,45 @@ Trace gen_projector(int n, std::size_t m, std::uint64_t seed) {
   while (pairs.size() < support) pairs.push_back(fresh_uniform_pair(n, rng));
   ZipfSampler zipf(static_cast<int>(support), 1.8);
 
-  Trace t;
-  t.n = n;
-  t.requests.reserve(m);
-  while (t.requests.size() < m) {
+  std::size_t count = 0;
+  while (count < m) {
     if (coin(rng) < 0.04) {
-      t.requests.push_back(fresh_uniform_pair(n, rng));  // mice flows
+      co_yield fresh_uniform_pair(n, rng);  // mice flows
+      ++count;
       continue;
     }
-    t.requests.push_back(pairs[static_cast<size_t>(zipf(rng)) - 1]);
+    co_yield pairs[static_cast<size_t>(zipf(rng)) - 1];
+    ++count;
   }
-  return t;
 }
 
-Trace gen_facebook(int n, std::size_t m, std::uint64_t seed) {
-  if (n < 2) throw TreeError("gen_facebook needs n >= 2");
+RequestGen make_projector(int n, std::size_t m, std::uint64_t seed) {
+  if (n < 4) throw TreeError("gen_projector needs n >= 4");
+  return co_projector(n, m, seed);
+}
+
+RequestGen co_facebook(int n, std::size_t m, std::uint64_t seed) {
   std::mt19937_64 rng(seed);
   ZipfSampler zipf(n, 1.30);
   std::vector<NodeId> node_of(static_cast<size_t>(n) + 1);
   std::iota(node_of.begin(), node_of.end(), 0);
   std::shuffle(node_of.begin() + 1, node_of.end(), rng);
 
-  Trace t;
-  t.n = n;
-  t.requests.reserve(m);
   for (std::size_t i = 0; i < m; ++i) {
     NodeId u = node_of[static_cast<size_t>(zipf(rng))];
     NodeId v = node_of[static_cast<size_t>(zipf(rng))];
     while (v == u) v = node_of[static_cast<size_t>(zipf(rng))];
-    t.requests.push_back({u, v});
+    co_yield Request{u, v};
   }
-  return t;
 }
 
-Trace gen_phase_elephants(int n, std::size_t m, int phases,
-                          std::uint64_t seed) {
-  if (n < 4) throw TreeError("gen_phase_elephants needs n >= 4");
-  if (phases < 1) throw TreeError("gen_phase_elephants needs phases >= 1");
+RequestGen make_facebook(int n, std::size_t m, std::uint64_t seed) {
+  if (n < 2) throw TreeError("gen_facebook needs n >= 2");
+  return co_facebook(n, m, seed);
+}
+
+RequestGen co_phase_elephants(int n, std::size_t m, int phases,
+                              std::uint64_t seed) {
   std::mt19937_64 rng(seed);
   std::uniform_real_distribution<double> coin(0.0, 1.0);
 
@@ -216,12 +240,10 @@ Trace gen_phase_elephants(int n, std::size_t m, int phases,
   const std::size_t support = static_cast<std::size_t>(n);
   ZipfSampler zipf(static_cast<int>(support), 1.6);
 
-  Trace t;
-  t.n = n;
-  t.requests.reserve(m);
+  std::size_t count = 0;
   std::vector<Request> pairs;
-  while (t.requests.size() < m) {
-    if (t.requests.size() % phase_len == 0) {
+  while (count < m) {
+    if (count % phase_len == 0) {
       // Phase boundary: a fresh elephant support — the previous hot pairs
       // go cold at once, the new ones land anywhere in the id space.
       pairs.clear();
@@ -229,21 +251,24 @@ Trace gen_phase_elephants(int n, std::size_t m, int phases,
         pairs.push_back(fresh_uniform_pair(n, rng));
     }
     if (coin(rng) < 0.04) {
-      t.requests.push_back(fresh_uniform_pair(n, rng));  // mice flows
+      co_yield fresh_uniform_pair(n, rng);  // mice flows
+      ++count;
       continue;
     }
-    t.requests.push_back(pairs[static_cast<size_t>(zipf(rng)) - 1]);
+    co_yield pairs[static_cast<size_t>(zipf(rng)) - 1];
+    ++count;
   }
-  return t;
 }
 
-Trace gen_rotating_hotset(int n, std::size_t m, int hot,
-                          std::size_t rotate_every, std::uint64_t seed) {
-  if (n < 4) throw TreeError("gen_rotating_hotset needs n >= 4");
-  if (hot < 2 || hot > n)
-    throw TreeError("gen_rotating_hotset needs 2 <= hot <= n");
-  if (rotate_every == 0)
-    throw TreeError("gen_rotating_hotset needs rotate_every >= 1");
+RequestGen make_phase_elephants(int n, std::size_t m, int phases,
+                                std::uint64_t seed) {
+  if (n < 4) throw TreeError("gen_phase_elephants needs n >= 4");
+  if (phases < 1) throw TreeError("gen_phase_elephants needs phases >= 1");
+  return co_phase_elephants(n, m, phases, seed);
+}
+
+RequestGen co_rotating_hotset(int n, std::size_t m, int hot,
+                              std::size_t rotate_every, std::uint64_t seed) {
   std::mt19937_64 rng(seed);
   std::uniform_real_distribution<double> coin(0.0, 1.0);
 
@@ -251,9 +276,6 @@ Trace gen_rotating_hotset(int n, std::size_t m, int hot,
   std::iota(ids.begin(), ids.end(), 1);
   std::vector<NodeId> hotset;
 
-  Trace t;
-  t.n = n;
-  t.requests.reserve(m);
   auto hot_node = [&]() -> NodeId {
     return hotset[static_cast<size_t>(rng() % hotset.size())];
   };
@@ -261,8 +283,9 @@ Trace gen_rotating_hotset(int n, std::size_t m, int hot,
     if (coin(rng) < 0.92) return hot_node();
     return static_cast<NodeId>(1 + rng() % static_cast<std::uint64_t>(n));
   };
-  while (t.requests.size() < m) {
-    if (t.requests.size() % rotate_every == 0) {
+  std::size_t count = 0;
+  while (count < m) {
+    if (count % rotate_every == 0) {
       // Resample the hot set without replacement: a fresh cluster that is
       // scattered across shards under any static partition.
       std::shuffle(ids.begin(), ids.end(), rng);
@@ -271,9 +294,52 @@ Trace gen_rotating_hotset(int n, std::size_t m, int hot,
     NodeId u = pick();
     NodeId v = pick();
     while (v == u) v = pick();
-    t.requests.push_back({u, v});
+    co_yield Request{u, v};
+    ++count;
   }
-  return t;
+}
+
+RequestGen make_rotating_hotset(int n, std::size_t m, int hot,
+                                std::size_t rotate_every,
+                                std::uint64_t seed) {
+  if (n < 4) throw TreeError("gen_rotating_hotset needs n >= 4");
+  if (hot < 2 || hot > n)
+    throw TreeError("gen_rotating_hotset needs 2 <= hot <= n");
+  if (rotate_every == 0)
+    throw TreeError("gen_rotating_hotset needs rotate_every >= 1");
+  return co_rotating_hotset(n, m, hot, rotate_every, seed);
+}
+
+}  // namespace
+
+Trace gen_uniform(int n, std::size_t m, std::uint64_t seed) {
+  return drain(n, m, make_uniform(n, m, seed));
+}
+
+Trace gen_temporal(int n, std::size_t m, double p, std::uint64_t seed) {
+  return drain(n, m, make_temporal(n, m, p, seed));
+}
+
+Trace gen_hpc(int n, std::size_t m, std::uint64_t seed) {
+  return drain(n, m, make_hpc(n, m, seed));
+}
+
+Trace gen_projector(int n, std::size_t m, std::uint64_t seed) {
+  return drain(n, m, make_projector(n, m, seed));
+}
+
+Trace gen_facebook(int n, std::size_t m, std::uint64_t seed) {
+  return drain(n, m, make_facebook(n, m, seed));
+}
+
+Trace gen_phase_elephants(int n, std::size_t m, int phases,
+                          std::uint64_t seed) {
+  return drain(n, m, make_phase_elephants(n, m, phases, seed));
+}
+
+Trace gen_rotating_hotset(int n, std::size_t m, int hot,
+                          std::size_t rotate_every, std::uint64_t seed) {
+  return drain(n, m, make_rotating_hotset(n, m, hot, rotate_every, seed));
 }
 
 const char* workload_name(WorkloadKind kind) {
@@ -324,34 +390,40 @@ int paper_node_count(WorkloadKind kind) {
   return 0;
 }
 
-Trace gen_workload(WorkloadKind kind, int n, std::size_t m,
-                   std::uint64_t seed) {
+RequestGen stream_workload(WorkloadKind kind, int n, std::size_t m,
+                           std::uint64_t seed) {
   if (n <= 0) n = paper_node_count(kind);
   switch (kind) {
     case WorkloadKind::kUniform:
-      return gen_uniform(n, m, seed);
+      return make_uniform(n, m, seed);
     case WorkloadKind::kTemporal025:
-      return gen_temporal(n, m, 0.25, seed);
+      return make_temporal(n, m, 0.25, seed);
     case WorkloadKind::kTemporal05:
-      return gen_temporal(n, m, 0.5, seed);
+      return make_temporal(n, m, 0.5, seed);
     case WorkloadKind::kTemporal075:
-      return gen_temporal(n, m, 0.75, seed);
+      return make_temporal(n, m, 0.75, seed);
     case WorkloadKind::kTemporal09:
-      return gen_temporal(n, m, 0.9, seed);
+      return make_temporal(n, m, 0.9, seed);
     case WorkloadKind::kHpc:
-      return gen_hpc(n, m, seed);
+      return make_hpc(n, m, seed);
     case WorkloadKind::kProjector:
-      return gen_projector(n, m, seed);
+      return make_projector(n, m, seed);
     case WorkloadKind::kFacebook:
-      return gen_facebook(n, m, seed);
+      return make_facebook(n, m, seed);
     case WorkloadKind::kPhaseElephants:
-      return gen_phase_elephants(n, m, /*phases=*/8, seed);
+      return make_phase_elephants(n, m, /*phases=*/8, seed);
     case WorkloadKind::kRotatingHot:
-      return gen_rotating_hotset(n, m, /*hot=*/std::max(2, n / 16),
-                                 /*rotate_every=*/std::max<std::size_t>(1, m / 16),
-                                 seed);
+      return make_rotating_hotset(
+          n, m, /*hot=*/std::max(2, n / 16),
+          /*rotate_every=*/std::max<std::size_t>(1, m / 16), seed);
   }
   throw TreeError("unknown workload kind");
+}
+
+Trace gen_workload(WorkloadKind kind, int n, std::size_t m,
+                   std::uint64_t seed) {
+  if (n <= 0) n = paper_node_count(kind);
+  return drain(n, m, stream_workload(kind, n, m, seed));
 }
 
 }  // namespace san

@@ -3,18 +3,15 @@
 #include <algorithm>
 #include <string>
 
+#include "core/rng.hpp"
+
 namespace san {
 namespace {
 
-/// splitmix64: tiny, well-mixed, and stable across platforms — the shard
+/// splitmix64 (core/rng.hpp): stable across platforms — the shard
 /// assignment is part of the reproducible experiment setup, so it must not
 /// depend on std::hash.
-std::uint64_t mix64(std::uint64_t x) {
-  x += 0x9e3779b97f4a7c15ULL;
-  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
-  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
-  return x ^ (x >> 31);
-}
+std::uint64_t mix64(std::uint64_t x) { return splitmix64_mix(x); }
 
 }  // namespace
 

@@ -36,27 +36,71 @@ const char* rebalance_trigger_name(RebalanceTrigger trigger) {
   return "?";
 }
 
+const char* demand_tracker_name(DemandTracker tracker) {
+  switch (tracker) {
+    case DemandTracker::kExact:
+      return "exact";
+    case DemandTracker::kSketch:
+      return "sketch";
+  }
+  return "?";
+}
+
 RebalanceState::RebalanceState(RebalanceConfig cfg) : cfg_(cfg) {
   if (cfg_.window_decay < 0.0 || cfg_.window_decay >= 1.0)
     throw TreeError("RebalanceState: window_decay must be in [0, 1)");
   if (cfg_.max_migrations < 0)
     throw TreeError("RebalanceState: max_migrations must be >= 0");
+  if (cfg_.tracker == DemandTracker::kSketch) {
+    if (cfg_.sketch_top_k < 1)
+      throw TreeError("RebalanceState: sketch_top_k must be >= 1");
+    hot_ = std::make_unique<SpaceSaving>(cfg_.sketch_top_k);
+    cm_ = std::make_unique<CountMinSketch>(cfg_.sketch_cm_width,
+                                           cfg_.sketch_cm_depth);
+  }
 }
 
 void RebalanceState::observe(const Request& r, const ShardMap& map) {
   if (r.src == r.dst) return;
-  pairs_[pair_key(r.src, r.dst)] += 1.0;
+  const std::uint64_t key = pair_key(r.src, r.dst);
+  if (hot_) {
+    hot_->observe(key, 1.0);
+    cm_->observe(key, 1.0);
+  } else {
+    pairs_[key] += 1.0;
+  }
   requests_ += 1.0;
   if (map.shard_of(r.src) != map.shard_of(r.dst)) cross_ += 1.0;
 }
 
 double RebalanceState::pair_weight(NodeId u, NodeId v) const {
-  const auto it = pairs_.find(pair_key(u, v));
+  const std::uint64_t key = pair_key(u, v);
+  if (hot_) {
+    // Tracked heavy pairs answer from the summary; the long tail falls
+    // back to the count-min point estimate (never an underestimate).
+    // Estimates below the retention floor are decayed-out noise — the
+    // exact window would have pruned them, so report 0 like it does.
+    if (hot_->contains(key)) return hot_->count(key);
+    const double est = cm_->estimate(key);
+    return est < kWindowFloorWeight ? 0.0 : est;
+  }
+  const auto it = pairs_.find(key);
   return it == pairs_.end() ? 0.0 : it->second;
 }
 
 std::vector<RebalanceState::PairEntry> RebalanceState::sorted_entries() const {
   std::vector<PairEntry> entries;
+  if (hot_) {
+    // The space-saving summary IS the window under kSketch: the planner
+    // works off the top-k heavy pairs (already in (count desc, key asc)
+    // order, which matches the exact branch's sort below).
+    const std::vector<SpaceSaving::Entry> tracked = hot_->entries();
+    entries.reserve(tracked.size());
+    for (const SpaceSaving::Entry& e : tracked)
+      entries.push_back({static_cast<NodeId>(e.key >> 32),
+                         static_cast<NodeId>(e.key & 0xffffffffu), e.count});
+    return entries;
+  }
   entries.reserve(pairs_.size());
   for (const auto& [key, weight] : pairs_)
     entries.push_back({static_cast<NodeId>(key >> 32),
@@ -73,13 +117,24 @@ std::vector<RebalanceState::PairEntry> RebalanceState::sorted_entries() const {
 }
 
 void RebalanceState::decay() {
-  for (auto& [key, weight] : pairs_) weight *= cfg_.window_decay;
   requests_ *= cfg_.window_decay;
   cross_ *= cfg_.window_decay;
-  // Prune aged-out pairs; if the table still exceeds its capacity, raise
-  // the cut deterministically until it fits (value predicate — no
-  // dependence on iteration order).
-  double cut = 1.0;
+  if (hot_) {
+    hot_->scale(cfg_.window_decay);
+    hot_->prune_below(kWindowFloorWeight);
+    cm_->scale(cfg_.window_decay);
+    return;
+  }
+  for (auto& [key, weight] : pairs_) weight *= cfg_.window_decay;
+  // Prune aged-out pairs: only weights that have decayed to noise
+  // (kWindowFloorWeight) are dropped unconditionally. The cut must NOT
+  // start at 1.0 — that would evict every pair not re-observed in the
+  // current epoch after a single decay, collapsing the "exponentially aged
+  // sliding window" to depth 1 for cold pairs even with the table nearly
+  // empty. Only when the table exceeds its capacity does the cut rise
+  // (deterministic doubling; value predicate — no dependence on iteration
+  // order) until it fits, evicting lightest-first as documented.
+  double cut = kWindowFloorWeight;
   while (true) {
     std::erase_if(pairs_, [cut](const auto& kv) { return kv.second < cut; });
     if (pairs_.size() <= cfg_.window_capacity) break;

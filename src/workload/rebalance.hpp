@@ -28,13 +28,23 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <memory>
 #include <unordered_map>
 #include <vector>
 
+#include "stats/sketch.hpp"
 #include "workload/partition.hpp"
 #include "workload/request.hpp"
 
 namespace san {
+
+/// Decayed window weights below this floor count as aged out and are
+/// pruned at epoch boundaries. The floor — NOT 1.0 — is what gives the
+/// window its depth: at the default decay of 0.5 a once-observed pair
+/// (weight 1.0) survives ten epochs before crossing 1/1024, instead of
+/// being evicted after the first decay the way a cut starting at 1.0 would.
+/// Capacity pressure can still raise the cut (rebalance.cpp: decay()).
+inline constexpr double kWindowFloorWeight = 1.0 / 1024.0;
 
 /// One planned node move.
 struct Migration {
@@ -64,8 +74,18 @@ enum class RebalanceTrigger {
                    ///< reacting within one epoch to phase changes.
 };
 
+/// How the window's pair-demand histogram is stored.
+enum class DemandTracker {
+  kExact,   ///< hash map, one entry per distinct pair (state grows with the
+            ///< observed pair universe up to window_capacity)
+  kSketch,  ///< SpaceSaving top-k + CountMin estimates (stats/sketch.hpp):
+            ///< state fixed by sketch_top_k / sketch_cm_width, independent
+            ///< of n and m — the n >= 10^6 streaming configuration
+};
+
 const char* rebalance_policy_name(RebalancePolicy policy);
 const char* rebalance_trigger_name(RebalanceTrigger trigger);
+const char* demand_tracker_name(DemandTracker tracker);
 
 struct RebalanceConfig {
   RebalancePolicy policy = RebalancePolicy::kNone;
@@ -100,6 +120,17 @@ struct RebalanceConfig {
   /// Soft cap on distinct pairs kept in the window (aged-out entries are
   /// pruned at epoch boundaries first, lightest pairs next).
   std::size_t window_capacity = 1 << 16;
+  /// Window storage backend; kSketch bounds memory independently of n.
+  DemandTracker tracker = DemandTracker::kExact;
+  /// kSketch: heavy-pair entries tracked by the space-saving summary (the
+  /// planner's working set — plays the role window_capacity plays for the
+  /// exact map).
+  std::size_t sketch_top_k = 4096;
+  /// kSketch: count-min width (rounded up to a power of two) and depth.
+  /// Point-estimate error is ~ window_weight / width per row; the default
+  /// 2^16 x 4 costs 2 MiB of doubles.
+  std::size_t sketch_cm_width = 1 << 16;
+  int sketch_cm_depth = 4;
 
   bool enabled() const {
     return policy != RebalancePolicy::kNone && epoch_requests > 0;
@@ -169,8 +200,12 @@ class RebalanceState {
   void decay();
 
   RebalanceConfig cfg_;
-  /// (min id << 32 | max id) -> exponentially aged request count.
+  /// kExact: (min id << 32 | max id) -> exponentially aged request count.
   std::unordered_map<std::uint64_t, double> pairs_;
+  /// kSketch: fixed-size summaries standing in for pairs_. hot_ feeds the
+  /// planner's entry list; cm_ answers pair_weight() point queries.
+  std::unique_ptr<SpaceSaving> hot_;
+  std::unique_ptr<CountMinSketch> cm_;
   /// Previous epoch's top drift_top_k pair keys, sorted (drift detector).
   std::vector<std::uint64_t> prev_top_;
   double requests_ = 0.0;

@@ -1,0 +1,46 @@
+#include "workload/streaming.hpp"
+
+#include "core/types.hpp"
+
+namespace san {
+
+std::size_t TraceStream::fill(std::span<Request> out) {
+  const std::size_t avail = trace_->size() - next_;
+  const std::size_t count = std::min(avail, out.size());
+  for (std::size_t i = 0; i < count; ++i) out[i] = trace_->requests[next_ + i];
+  next_ += count;
+  return count;
+}
+
+StreamingWorkload::StreamingWorkload(WorkloadKind kind, int n, std::size_t m,
+                                     std::uint64_t seed)
+    : n_(n <= 0 ? paper_node_count(kind) : n), m_(m) {
+  gen_ = stream_workload(kind, n_, m_, seed);
+}
+
+std::size_t StreamingWorkload::fill(std::span<Request> out) {
+  std::size_t count = 0;
+  Request r;
+  while (count < out.size() && gen_.next(r)) out[count++] = r;
+  return count;
+}
+
+Trace materialize_stream(RequestStream& stream) {
+  Trace t;
+  t.n = stream.n();
+  // size() is a claim, not a guarantee (an istream-backed v2 reader takes
+  // it from the file header): cap the up-front allocation the same way
+  // read_trace caps its header reserve, and let push_back grow past it
+  // only as data actually arrives.
+  constexpr std::size_t kMaxReserve = 1 << 20;
+  t.requests.reserve(std::min(stream.size(), kMaxReserve));
+  Request chunk[4096];
+  while (true) {
+    const std::size_t got = stream.fill(chunk);
+    if (got == 0) break;
+    t.requests.insert(t.requests.end(), chunk, chunk + got);
+  }
+  return t;
+}
+
+}  // namespace san

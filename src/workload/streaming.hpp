@@ -1,0 +1,143 @@
+// Streaming request plane: generate, read and replay traces in O(chunk)
+// memory instead of materializing all m requests.
+//
+// A materialized Trace at the paper's scale is cheap (10^6 requests = 8
+// MB), but the n >= 10^6 / m >= 10^8 envelope the streaming pipeline
+// targets would cost ~1 GB per trace copy. This header provides:
+//   * RequestGen — a C++20 coroutine generator of requests. The workload
+//     generator bodies (generators.cpp) are written as coroutines; the
+//     classic gen_* functions are thin materializers over them, so the
+//     streamed and materialized sequences are bit-identical by
+//     construction (one source of truth, not two implementations).
+//   * RequestStream — the pull interface the simulator, the sharded
+//     runner and the serving frontend consume (sim/simulator.hpp:
+//     run_trace_stream and friends). Implementations: StreamingWorkload
+//     (on-demand synthetic workloads), TraceStream (adapter over a
+//     materialized Trace — this is how the Trace& entry points keep their
+//     exact behavior), and io/trace_v2.hpp's TraceV2Reader (binary files).
+#pragma once
+
+#include <coroutine>
+#include <cstddef>
+#include <cstdint>
+#include <exception>
+#include <span>
+#include <utility>
+
+#include "workload/generators.hpp"
+#include "workload/request.hpp"
+
+namespace san {
+
+/// Move-only coroutine generator of Requests.
+class RequestGen {
+ public:
+  struct promise_type {
+    Request current{};
+    std::exception_ptr error;
+
+    RequestGen get_return_object() {
+      return RequestGen(Handle::from_promise(*this));
+    }
+    std::suspend_always initial_suspend() noexcept { return {}; }
+    std::suspend_always final_suspend() noexcept { return {}; }
+    std::suspend_always yield_value(Request r) noexcept {
+      current = r;
+      return {};
+    }
+    void return_void() noexcept {}
+    void unhandled_exception() { error = std::current_exception(); }
+  };
+  using Handle = std::coroutine_handle<promise_type>;
+
+  RequestGen() = default;
+  explicit RequestGen(Handle h) : h_(h) {}
+  RequestGen(RequestGen&& other) noexcept
+      : h_(std::exchange(other.h_, {})) {}
+  RequestGen& operator=(RequestGen&& other) noexcept {
+    if (this != &other) {
+      if (h_) h_.destroy();
+      h_ = std::exchange(other.h_, {});
+    }
+    return *this;
+  }
+  RequestGen(const RequestGen&) = delete;
+  RequestGen& operator=(const RequestGen&) = delete;
+  ~RequestGen() {
+    if (h_) h_.destroy();
+  }
+
+  /// Advances the generator; false once it is exhausted. An exception
+  /// thrown inside the generator body resurfaces here.
+  bool next(Request& out) {
+    if (!h_ || h_.done()) return false;
+    h_.resume();
+    if (h_.promise().error) std::rethrow_exception(h_.promise().error);
+    if (h_.done()) return false;
+    out = h_.promise().current;
+    return true;
+  }
+
+ private:
+  Handle h_;
+};
+
+/// Pull interface for a finite request sequence of known length. fill()
+/// returns how many requests it wrote into `out` (any amount > 0 is
+/// legal); 0 means the stream is exhausted. Streams are single-pass.
+class RequestStream {
+ public:
+  virtual ~RequestStream() = default;
+
+  /// Number of network nodes (ids 1..n).
+  virtual int n() const = 0;
+  /// Total requests this stream yields over its lifetime.
+  virtual std::size_t size() const = 0;
+  virtual std::size_t fill(std::span<Request> out) = 0;
+};
+
+/// Adapter: replays a materialized Trace as a stream. The Trace& entry
+/// points of the simulator and frontend are thin wrappers over this, so
+/// they serve the exact same request sequence they always did.
+class TraceStream final : public RequestStream {
+ public:
+  explicit TraceStream(const Trace& trace) : trace_(&trace) {}
+
+  int n() const override { return trace_->n; }
+  std::size_t size() const override { return trace_->size(); }
+  std::size_t fill(std::span<Request> out) override;
+
+ private:
+  const Trace* trace_;
+  std::size_t next_ = 0;
+};
+
+/// The coroutine behind gen_workload: yields the same request sequence
+/// gen_workload(kind, n, m, seed) materializes, one request at a time.
+/// Argument validation happens here (eagerly), not on first pull.
+RequestGen stream_workload(WorkloadKind kind, int n, std::size_t m,
+                           std::uint64_t seed);
+
+/// On-demand synthetic workload as a RequestStream: O(generator state)
+/// memory regardless of m. n <= 0 picks paper_node_count(kind), exactly
+/// like gen_workload.
+class StreamingWorkload final : public RequestStream {
+ public:
+  StreamingWorkload(WorkloadKind kind, int n, std::size_t m,
+                    std::uint64_t seed);
+
+  int n() const override { return n_; }
+  std::size_t size() const override { return m_; }
+  std::size_t fill(std::span<Request> out) override;
+
+ private:
+  RequestGen gen_;
+  int n_ = 0;
+  std::size_t m_ = 0;
+};
+
+/// Drains a stream into a Trace (testing / small-scale convenience; at
+/// streaming scale this is exactly the allocation the stream avoids).
+Trace materialize_stream(RequestStream& stream);
+
+}  // namespace san

@@ -6,9 +6,13 @@
 // in id space (which would unrealistically favour search-tree locality).
 #pragma once
 
+#include <algorithm>
+#include <cmath>
 #include <cstdint>
 #include <random>
 #include <vector>
+
+#include "core/rng.hpp"
 
 namespace san {
 
@@ -23,9 +27,13 @@ class ZipfSampler {
     for (double& x : cdf_) x /= acc;
   }
 
-  /// Returns a rank in [1, n].
+  /// Returns a rank in [1, n]. The variate comes from uniform_open (raw
+  /// top-53-bit construction), not std::uniform_real_distribution, whose
+  /// algorithm is implementation-defined: traces — and every golden cost
+  /// derived from them — must be bit-identical across standard libraries
+  /// (the contract workload/arrival.hpp documents).
   int operator()(std::mt19937_64& rng) const {
-    const double u = std::uniform_real_distribution<double>(0.0, 1.0)(rng);
+    const double u = uniform_open(rng);
     const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
     return static_cast<int>(it - cdf_.begin()) + 1;
   }

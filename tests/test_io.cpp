@@ -44,6 +44,8 @@ TEST(TraceIo, RejectsMalformedInput) {
   reject("san-trace v1 5 1\n3 3\n");          // self-loop
   reject("san-trace v1 1 0\n");               // degenerate n
   reject("san-trace v1 5 1\nfoo bar\n");      // garbage
+  reject("san-trace v1 5 1\n1 2 junk\n");     // trailing garbage
+  reject("san-trace v1 5 1\n1 2 3\n");        // extra numeric field
 }
 
 TEST(TraceIo, RejectsHostileHeaderCounts) {
