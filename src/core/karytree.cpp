@@ -106,6 +106,100 @@ PathInfo KAryTree::path_info(NodeId u, NodeId v) const {
   return PathInfo{a, d};
 }
 
+void KAryTree::path_info_batch(std::span<const NodeId> us,
+                               std::span<const NodeId> vs,
+                               std::span<PathInfo> out, int group) const {
+  if (us.size() != vs.size() || us.size() != out.size())
+    throw TreeError("path_info_batch: span sizes must match");
+  if (group < 1) throw TreeError("path_info_batch: group must be >= 1");
+  // One in-flight walk: the exact state machine of scalar path_info(),
+  // advanced one hop per round.
+  struct Walk {
+    NodeId a, b;
+    int da, db, d;
+    size_t slot;  // index into out
+  };
+  constexpr size_t kMaxGroup = 64;
+  Walk walks[kMaxGroup];
+  const size_t g = std::min<size_t>(static_cast<size_t>(group), kMaxGroup);
+  for (size_t base = 0; base < us.size(); base += g) {
+    const size_t lanes = std::min(g, us.size() - base);
+    // Depth reads first (memo repair may walk and stamp paths); prefetch
+    // each lane's endpoints ahead of its depth() call.
+    for (size_t i = 0; i < lanes; ++i) {
+      prefetch_read(&parent_[static_cast<size_t>(check(us[base + i]))]);
+      prefetch_read(&parent_[static_cast<size_t>(check(vs[base + i]))]);
+    }
+    size_t live = 0;
+    for (size_t i = 0; i < lanes; ++i) {
+      Walk w{us[base + i], vs[base + i], depth(us[base + i]),
+             depth(vs[base + i]), 0, base + i};
+      walks[live++] = w;
+    }
+    while (live > 0) {
+      size_t keep = 0;
+      for (size_t i = 0; i < live; ++i) {
+        Walk w = walks[i];
+        if (w.da > w.db) {
+          w.a = parent_[static_cast<size_t>(w.a)];
+          --w.da;
+          ++w.d;
+        } else if (w.db > w.da) {
+          w.b = parent_[static_cast<size_t>(w.b)];
+          --w.db;
+          ++w.d;
+        } else if (w.a != w.b) {
+          w.a = parent_[static_cast<size_t>(w.a)];
+          w.b = parent_[static_cast<size_t>(w.b)];
+          w.d += 2;
+          if (w.a == kNoNode || w.b == kNoNode)
+            throw TreeError("nodes are in disconnected components");
+        } else {
+          out[w.slot] = PathInfo{w.a, w.d};
+          continue;  // lane retired
+        }
+        prefetch_read(&parent_[static_cast<size_t>(w.a)]);
+        prefetch_read(&parent_[static_cast<size_t>(w.b)]);
+        walks[keep++] = w;
+      }
+      live = keep;
+    }
+  }
+}
+
+int KAryTree::warm_root_paths(std::span<const NodeId> ids) const {
+  constexpr size_t kMaxLanes = 64;
+  NodeId cur[kMaxLanes];
+  int hops = 0;
+  for (size_t base = 0; base < ids.size(); base += kMaxLanes) {
+    const size_t lanes = std::min(kMaxLanes, ids.size() - base);
+    size_t live = 0;
+    for (size_t i = 0; i < lanes; ++i) {
+      const NodeId id = check(ids[base + i]);
+      prefetch_read(&parent_[static_cast<size_t>(id)]);
+      prefetch_read(keys_.data() + key_base(id));
+      prefetch_read(children_.data() + child_base(id));
+      cur[live++] = id;
+    }
+    int rounds = 0;
+    while (live > 0) {
+      if (++rounds > n_) throw TreeError("parent cycle in warm_root_paths()");
+      size_t keep = 0;
+      for (size_t i = 0; i < live; ++i) {
+        const NodeId up = parent_[static_cast<size_t>(cur[i])];
+        if (up == kNoNode) continue;  // reached a root: lane retires
+        ++hops;
+        prefetch_read(&parent_[static_cast<size_t>(up)]);
+        prefetch_read(keys_.data() + key_base(up));
+        prefetch_read(children_.data() + child_base(up));
+        cur[keep++] = up;
+      }
+      live = keep;
+    }
+  }
+  return hops;
+}
+
 int KAryTree::route_into(NodeId u, NodeId v, std::vector<NodeId>& out) const {
   int du = depth(u);
   int dv = depth(v);

@@ -62,6 +62,16 @@ struct PathInfo {
   int distance = 0;
 };
 
+/// Read prefetch hint with low expected temporal locality. No-op where
+/// __builtin_prefetch is unavailable.
+inline void prefetch_read(const void* p) {
+#if defined(__GNUC__) || defined(__clang__)
+  __builtin_prefetch(p, /*rw=*/0, /*locality=*/1);
+#else
+  (void)p;
+#endif
+}
+
 class KAryTree {
  public:
   /// Creates a tree of `n` detached nodes with ids 1..n and arity `k` >= 2.
@@ -128,6 +138,23 @@ class KAryTree {
   int distance(NodeId u, NodeId v) const;
   /// LCA and distance from one walk — what serve() needs per request.
   PathInfo path_info(NodeId u, NodeId v) const;
+  /// Batch variant of path_info(): computes `out[i] = path_info(us[i],
+  /// vs[i])` with up to `group` walks advanced in lockstep, each round
+  /// prefetching the next parent hop of every live walk so the DRAM misses
+  /// of independent root paths overlap instead of serializing. Results are
+  /// bit-identical to the scalar calls (same arithmetic, same memo repair,
+  /// same error conditions). All three spans must have equal length.
+  void path_info_batch(std::span<const NodeId> us, std::span<const NodeId> vs,
+                       std::span<PathInfo> out, int group = 8) const;
+  /// Interleaved parent-chase from each id to the root that only issues
+  /// read prefetches on the parent / key / child cache lines a subsequent
+  /// splay over those nodes will touch. Deliberately memo-free: it never
+  /// reads or stamps the depth cache, so it is safe to call between
+  /// mutations without epoch churn. Returns the total number of hops walked
+  /// (the sum of the ids' depths). Node ids are permanent indexes into the
+  /// flat SoA buffers — nodes never move in memory — so the warmed lines
+  /// stay useful even as rotations rewire links underneath.
+  int warm_root_paths(std::span<const NodeId> ids) const;
   /// Nodes of the unique u->v routing path, endpoints included.
   std::vector<NodeId> route(NodeId u, NodeId v) const;
   /// Buffer-reusing variant: replaces `out` with the path and returns its

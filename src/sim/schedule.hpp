@@ -1,0 +1,199 @@
+// Intra-shard batch scheduling policies.
+//
+// FIFO is the bit-exact default: requests are served in arrival order and no
+// code on that path changed. kLocality reorders requests *within bounded
+// windows* of a drain chunk by tree locality — the sort key is the LCA of the
+// request's access path, so requests touching the same subtree region are
+// served consecutively while their upper path is cache-hot — and serves each
+// window in small groups whose root paths are warmed by an interleaved
+// software-prefetch walk (KAryTree::warm_root_paths) before the serves run.
+//
+// Cost semantics: a locality-scheduled serve is an ordinary sequential serve
+// of the *permuted* sequence. The scheduler never interleaves mutations of
+// two descents and the prefetch warm-up is read-only, so the reported
+// routing/rotation costs are exactly what FIFO would report for that
+// permutation — deterministic (stable sort over deterministic keys),
+// golden-lockable, and honestly different from FIFO's costs because splay
+// order matters. The scheduling pass itself is mutation-free, so the depth
+// memos it repairs stay valid for the whole window (the epoch never bumps
+// mid-pass), making the per-request path_info keying cheap.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <numeric>
+#include <span>
+#include <vector>
+
+#include "core/karytree.hpp"
+#include "core/types.hpp"
+
+namespace san {
+
+enum class SchedulePolicy : std::uint8_t {
+  kFifo = 0,      ///< arrival order, bit-identical to pre-scheduler behavior
+  kLocality = 1,  ///< windowed LCA-cluster reorder + prefetch-warmed groups
+};
+
+const char* schedule_policy_name(SchedulePolicy p);
+
+struct ScheduleConfig {
+  SchedulePolicy policy = SchedulePolicy::kFifo;
+  /// Reorder window: requests may only be permuted within consecutive
+  /// windows of this many requests (per shard, never across a drain-chunk
+  /// boundary), bounding how far any request can be deferred past its
+  /// arrival position.
+  int window = 1024;
+  /// In-flight walks per interleaved keying / prefetch warm-up group.
+  int group = 8;
+
+  bool reorders() const { return policy == SchedulePolicy::kLocality; }
+  /// Rejects non-positive window/group and group > window (a warm-up group
+  /// can never span more requests than one reorder window). Called by every
+  /// engine entry point before any request is served.
+  void validate() const;
+};
+
+/// Endpoints of one schedulable operation, resolved into the id space of the
+/// tree being scheduled. `u == kNoNode` marks an operation foreign to this
+/// tree (e.g. a frontend forward for another shard): it keeps its arrival
+/// position's sort key floor and is served as-is. `v == kNoNode` marks a
+/// root ascent (sharded first leg / access): it is keyed and warmed against
+/// the current root.
+struct ScheduleEndpoints {
+  NodeId u = kNoNode;
+  NodeId v = kNoNode;
+};
+
+/// Windowed locality scheduler, generic over the operation type (Request,
+/// ShardOp, frontend QueueItem) via a caller-supplied `resolve` mapping an
+/// op to ScheduleEndpoints, and over the tree type: trees exposing the
+/// KAryTree batch walks get interleaved keying and prefetch warm-up; any
+/// tree with `lca(u,v)`/`root()` (BinarySplayNet) falls back to scalar
+/// keying with no warm-up, keeping the reorder semantics identical.
+class LocalityScheduler {
+ public:
+  explicit LocalityScheduler(const ScheduleConfig& cfg) : cfg_(cfg) {
+    cfg_.validate();
+  }
+
+  /// Requests whose final serve position differed from their arrival
+  /// position, accumulated over every window this scheduler processed.
+  Cost reordered() const { return reordered_; }
+
+  /// Serves `ops` under the configured policy: each window is reordered
+  /// against the tree's current topology, then served in groups of
+  /// `cfg.group` with a prefetch warm-up per group. `serve` is invoked
+  /// exactly once per op, in the scheduled order.
+  template <typename TreeT, typename Op, typename Resolve, typename ServeFn>
+  void run(const TreeT& tree, std::span<Op> ops, Resolve&& resolve,
+           ServeFn&& serve) {
+    if (!cfg_.reorders()) {
+      for (Op& op : ops) serve(op);
+      return;
+    }
+    const size_t w = static_cast<size_t>(cfg_.window);
+    for (size_t base = 0; base < ops.size(); base += w) {
+      std::span<Op> win = ops.subspan(base, std::min(w, ops.size() - base));
+      reorder(tree, win, resolve);
+      const size_t g = static_cast<size_t>(cfg_.group);
+      for (size_t gb = 0; gb < win.size(); gb += g) {
+        std::span<Op> grp = win.subspan(gb, std::min(g, win.size() - gb));
+        warm(tree, grp, resolve);
+        for (Op& op : grp) serve(op);
+      }
+    }
+  }
+
+  /// The reorder pass alone (exposed for tests and for engines that manage
+  /// their own serve loop): stable-sorts one window by locality key and
+  /// applies the permutation in place. Mutation-free with respect to the
+  /// tree.
+  template <typename TreeT, typename Op, typename Resolve>
+  void reorder(const TreeT& tree, std::span<Op> ops, Resolve&& resolve) {
+    const size_t m = ops.size();
+    if (m < 2) return;
+    keys_.assign(m, 0);
+    us_.clear();
+    vs_.clear();
+    slots_.clear();
+    const NodeId root = tree.root();
+    for (size_t i = 0; i < m; ++i) {
+      const ScheduleEndpoints ep = resolve(ops[i]);
+      if (ep.u == kNoNode) continue;  // foreign op: key 0, stable floor
+      us_.push_back(ep.u);
+      vs_.push_back(ep.v == kNoNode ? root : ep.v);
+      slots_.push_back(i);
+    }
+    lcas_.resize(us_.size());
+    if constexpr (requires {
+                    tree.path_info_batch(std::span<const NodeId>{},
+                                         std::span<const NodeId>{},
+                                         std::span<PathInfo>{}, 1);
+                  }) {
+      infos_.resize(us_.size());
+      tree.path_info_batch(us_, vs_, infos_, cfg_.group);
+      for (size_t j = 0; j < infos_.size(); ++j) lcas_[j] = infos_[j].lca;
+    } else {
+      for (size_t j = 0; j < us_.size(); ++j)
+        lcas_[j] = tree.lca(us_[j], vs_[j]);
+    }
+    for (size_t j = 0; j < slots_.size(); ++j) {
+      const std::uint64_t lo =
+          static_cast<std::uint32_t>(std::min(us_[j], vs_[j]));
+      keys_[slots_[j]] =
+          (static_cast<std::uint64_t>(static_cast<std::uint32_t>(lcas_[j]))
+           << 32) |
+          lo;
+    }
+    order_.resize(m);
+    std::iota(order_.begin(), order_.end(), size_t{0});
+    std::stable_sort(order_.begin(), order_.end(), [&](size_t a, size_t b) {
+      return keys_[a] < keys_[b];
+    });
+    bool moved = false;
+    for (size_t i = 0; i < m; ++i) {
+      if (order_[i] != i) {
+        ++reordered_;
+        moved = true;
+      }
+    }
+    if (!moved) return;
+    // Apply the permutation in place by cycle-following (order_ is consumed:
+    // visited slots are marked by pointing them at themselves).
+    for (size_t i = 0; i < m; ++i) {
+      size_t cur = i;
+      while (order_[cur] != cur) {
+        const size_t src = order_[cur];
+        std::swap(ops[cur], ops[src]);
+        order_[cur] = cur;
+        cur = src;
+      }
+    }
+  }
+
+ private:
+  template <typename TreeT, typename Op, typename Resolve>
+  void warm(const TreeT& tree, std::span<Op> ops, Resolve&& resolve) {
+    if constexpr (requires { tree.warm_root_paths(std::span<const NodeId>{}); }) {
+      warm_ids_.clear();
+      for (Op& op : ops) {
+        const ScheduleEndpoints ep = resolve(op);
+        if (ep.u == kNoNode) continue;
+        warm_ids_.push_back(ep.u);
+        if (ep.v != kNoNode && ep.v != ep.u) warm_ids_.push_back(ep.v);
+      }
+      tree.warm_root_paths(warm_ids_);
+    }
+  }
+
+  ScheduleConfig cfg_;
+  Cost reordered_ = 0;
+  std::vector<std::uint64_t> keys_;
+  std::vector<NodeId> us_, vs_, lcas_, warm_ids_;
+  std::vector<size_t> slots_;
+  std::vector<PathInfo> infos_;
+  std::vector<size_t> order_;
+};
+
+}  // namespace san

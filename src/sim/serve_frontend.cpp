@@ -111,6 +111,7 @@ struct WorkerState {
   std::size_t cross_requests = 0;  ///< completed second legs
   std::size_t handovers = 0;
   std::size_t forwards = 0;
+  Cost reordered = 0;  ///< batch slots permuted by the locality schedule
   LatencyHistogram sojourn;
   LatencyHistogram queue_wait;
 };
@@ -123,6 +124,11 @@ ServeFrontend::ServeFrontend(ShardedNetwork& net, FrontendOptions opt)
     throw TreeError("ServeFrontend: admission_batch must be >= 1");
   if (opt_.queue_capacity < 1)
     throw TreeError("ServeFrontend: queue_capacity must be >= 1");
+  opt_.schedule.validate();
+  if (opt_.schedule.reorders() && opt_.admission_batch < 2)
+    throw TreeError(
+        "ServeFrontend: locality schedule needs admission_batch >= 2 "
+        "(a 1-item batch can never reorder)");
 }
 
 FrontendResult ServeFrontend::run(const Trace& trace,
@@ -169,68 +175,90 @@ FrontendResult ServeFrontend::run_stream(RequestStream& stream,
     KArySplayNet& shard = net_.shard(s);
     std::vector<QueueItem> batch;
     batch.reserve(static_cast<std::size_t>(opt_.admission_batch));
+    auto process_item = [&](const QueueItem& item) {
+      const ShardMap& map = net_.map();
+      if (item.is_handover()) {
+        // Second leg of a cross-shard request: ascend v, charge the
+        // accumulated top-tree legs, complete.
+        const int home = map.shard_of(item.src);
+        if (home != s) {  // lost a race with a migration: forward
+          QueueItem fwd = item;
+          fwd.pending_top += net_.top_distance(s, home);
+          ++ws.forwards;
+          inboxes[static_cast<std::size_t>(home)]->push_mail(fwd);
+          return;
+        }
+        const ServeResult sr = shard.access(map.local_of(item.src));
+        ws.routing += sr.routing_cost + item.pending_top;
+        ws.rotations += sr.rotations;
+        ws.edges += sr.edge_changes;
+        ws.ascent_cost += sr.routing_cost +
+                          static_cast<Cost>(sr.rotations) + item.pending_top;
+        ++ws.cross_requests;
+        ws.sojourn.record(now_ns() - item.arrival_ns);
+        completed.fetch_add(1, std::memory_order_release);
+        return;
+      }
+      const int a = map.shard_of(item.src);
+      if (a != s) {  // fresh item whose source migrated away meanwhile
+        ++ws.forwards;
+        inboxes[static_cast<std::size_t>(a)]->push_mail(item);
+        return;
+      }
+      ws.queue_wait.record(now_ns() - item.arrival_ns);
+      const int b = map.shard_of(item.dst);
+      if (b == s) {
+        const ServeResult sr =
+            shard.serve(map.local_of(item.src), map.local_of(item.dst));
+        ws.routing += sr.routing_cost;
+        ws.rotations += sr.rotations;
+        ws.edges += sr.edge_changes;
+        ws.intra_cost += sr.routing_cost + static_cast<Cost>(sr.rotations);
+        ++ws.intra_requests;
+        ws.sojourn.record(now_ns() - item.arrival_ns);
+        completed.fetch_add(1, std::memory_order_release);
+      } else {
+        // First leg: ascend u to this shard's root, hand the request
+        // over to v's shard with the top-tree route priced in.
+        const ServeResult sr = shard.access(map.local_of(item.src));
+        ws.routing += sr.routing_cost;
+        ws.rotations += sr.rotations;
+        ws.edges += sr.edge_changes;
+        ws.ascent_cost += sr.routing_cost + static_cast<Cost>(sr.rotations);
+        ++ws.handovers;
+        QueueItem leg;
+        leg.src = item.dst;
+        leg.arrival_ns = item.arrival_ns;
+        leg.pending_top = net_.top_distance(s, b);
+        inboxes[static_cast<std::size_t>(b)]->push_mail(leg);
+      }
+    };
+    // Resolves a queued item into this worker's shard-local id space for
+    // the locality scheduler. Items for other shards (forwards) and
+    // handovers/first legs key as root ascents or foreign ops; migrations
+    // only land at quiesce barriers, so the map is stable per batch.
+    auto resolve = [&](const QueueItem& item) -> ScheduleEndpoints {
+      const ShardMap& map = net_.map();
+      if (map.shard_of(item.src) != s) return {kNoNode, kNoNode};
+      const NodeId u = map.local_of(item.src);
+      if (item.is_handover() || map.shard_of(item.dst) != s)
+        return {u, kNoNode};  // root ascent (second or first leg)
+      return {u, map.local_of(item.dst)};
+    };
+    LocalityScheduler scheduler(opt_.schedule);
+    const bool reorder = opt_.schedule.reorders();
     for (;;) {
       batch.clear();
       if (inboxes[static_cast<std::size_t>(s)]->pop_batch(
-              batch, static_cast<std::size_t>(opt_.admission_batch)) == 0)
+              batch, static_cast<std::size_t>(opt_.admission_batch)) == 0) {
+        ws.reordered = scheduler.reordered();
         return;  // closed and drained
-      for (const QueueItem& item : batch) {
-        const ShardMap& map = net_.map();
-        if (item.is_handover()) {
-          // Second leg of a cross-shard request: ascend v, charge the
-          // accumulated top-tree legs, complete.
-          const int home = map.shard_of(item.src);
-          if (home != s) {  // lost a race with a migration: forward
-            QueueItem fwd = item;
-            fwd.pending_top += net_.top_distance(s, home);
-            ++ws.forwards;
-            inboxes[static_cast<std::size_t>(home)]->push_mail(fwd);
-            continue;
-          }
-          const ServeResult sr = shard.access(map.local_of(item.src));
-          ws.routing += sr.routing_cost + item.pending_top;
-          ws.rotations += sr.rotations;
-          ws.edges += sr.edge_changes;
-          ws.ascent_cost += sr.routing_cost +
-                            static_cast<Cost>(sr.rotations) + item.pending_top;
-          ++ws.cross_requests;
-          ws.sojourn.record(now_ns() - item.arrival_ns);
-          completed.fetch_add(1, std::memory_order_release);
-          continue;
-        }
-        const int a = map.shard_of(item.src);
-        if (a != s) {  // fresh item whose source migrated away meanwhile
-          ++ws.forwards;
-          inboxes[static_cast<std::size_t>(a)]->push_mail(item);
-          continue;
-        }
-        ws.queue_wait.record(now_ns() - item.arrival_ns);
-        const int b = map.shard_of(item.dst);
-        if (b == s) {
-          const ServeResult sr =
-              shard.serve(map.local_of(item.src), map.local_of(item.dst));
-          ws.routing += sr.routing_cost;
-          ws.rotations += sr.rotations;
-          ws.edges += sr.edge_changes;
-          ws.intra_cost += sr.routing_cost + static_cast<Cost>(sr.rotations);
-          ++ws.intra_requests;
-          ws.sojourn.record(now_ns() - item.arrival_ns);
-          completed.fetch_add(1, std::memory_order_release);
-        } else {
-          // First leg: ascend u to this shard's root, hand the request
-          // over to v's shard with the top-tree route priced in.
-          const ServeResult sr = shard.access(map.local_of(item.src));
-          ws.routing += sr.routing_cost;
-          ws.rotations += sr.rotations;
-          ws.edges += sr.edge_changes;
-          ws.ascent_cost += sr.routing_cost + static_cast<Cost>(sr.rotations);
-          ++ws.handovers;
-          QueueItem leg;
-          leg.src = item.dst;
-          leg.arrival_ns = item.arrival_ns;
-          leg.pending_top = net_.top_distance(s, b);
-          inboxes[static_cast<std::size_t>(b)]->push_mail(leg);
-        }
+      }
+      if (!reorder) {
+        for (const QueueItem& item : batch) process_item(item);
+      } else {
+        scheduler.run(shard.tree(), std::span<QueueItem>(batch), resolve,
+                      process_item);
       }
     }
   };
@@ -357,9 +385,11 @@ FrontendResult ServeFrontend::run_stream(RequestStream& stream,
     res.sim.edge_changes += ws.edges;
     res.handovers += ws.handovers;
     res.forwards += ws.forwards;
+    res.sim.reordered_requests += ws.reordered;
     res.sojourn.merge(ws.sojourn);
     res.queue_wait.merge(ws.queue_wait);
   }
+  res.sim.schedule = opt_.schedule.policy;
   res.sim.cross_shard = static_cast<Cost>(cross_dispatched);
   net_.note_cross_served(static_cast<Cost>(cross_dispatched));
   res.achieved_rate =

@@ -67,6 +67,12 @@ struct FrontendOptions {
   /// Non-null + enabled() turns on online rebalancing epochs (see file
   /// comment). Ignored when the network has a single shard.
   const RebalanceConfig* rebalance = nullptr;
+  /// Serve order within each admitted batch (sim/schedule.hpp). FIFO keeps
+  /// the inbox order (and hence the S = 1 bit-match with batch replay);
+  /// kLocality reorders each batch by LCA cluster against the worker's own
+  /// shard tree before serving — migrations only land at quiesce barriers,
+  /// so the map is stable for the whole batch. Validated at construction.
+  ScheduleConfig schedule{};
 };
 
 struct FrontendResult {

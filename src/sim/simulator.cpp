@@ -17,13 +17,17 @@ struct ShardDrain {
   Cost ascent_cost = 0;  ///< routing + rotations of the ascent ops alone
 };
 
-/// Serves one shard's op queue in order. Ops are local-id pairs; an ascent
-/// op (cross-shard half-request) splays its node to the shard root and is
-/// charged the pre-adjustment depth — exactly what ShardedNetwork::serve
-/// does inline, so pipeline and per-request paths cannot diverge.
-ShardDrain drain_shard(KArySplayNet& shard, const std::vector<ShardOp>& ops) {
+/// Serves one shard's op queue in the scheduled order. Ops are local-id
+/// pairs; an ascent op (cross-shard half-request) splays its node to the
+/// shard root and is charged the pre-adjustment depth — exactly what
+/// ShardedNetwork::serve does inline, so pipeline and per-request paths
+/// cannot diverge. Under FIFO the queue is served untouched; kLocality
+/// reorders within windows of this shard's own queue (shards share
+/// nothing, so the sequential/concurrent bit-identity is preserved).
+ShardDrain drain_shard(KArySplayNet& shard, std::vector<ShardOp>& ops,
+                       const ScheduleConfig& sched) {
   ShardDrain res;
-  for (const ShardOp& op : ops) {
+  const auto serve_one = [&](const ShardOp& op) {
     const ServeResult s =
         op.is_ascent() ? shard.access(op.src) : shard.serve(op.src, op.dst);
     res.sim.routing_cost += s.routing_cost;
@@ -31,26 +35,58 @@ ShardDrain drain_shard(KArySplayNet& shard, const std::vector<ShardOp>& ops) {
     res.sim.edge_changes += s.edge_changes;
     if (op.is_ascent())
       res.ascent_cost += s.routing_cost + static_cast<Cost>(s.rotations);
+  };
+  if (!sched.reorders()) {
+    for (const ShardOp& op : ops) serve_one(op);
+    return res;
   }
+  LocalityScheduler scheduler(sched);
+  scheduler.run(
+      shard.tree(), std::span<ShardOp>(ops),
+      [](const ShardOp& op) { return ScheduleEndpoints{op.src, op.dst}; },
+      serve_one);
+  res.sim.reordered_requests = scheduler.reordered();
   return res;
 }
 
 }  // namespace
 
-SimResult run_trace(AnyNetwork& net, const Trace& trace) {
-  return net.visit([&](auto& n) { return run_trace(n, trace); });
+SimResult run_trace(AnyNetwork& net, const Trace& trace,
+                    const ScheduleConfig& sched) {
+  return net.visit([&](auto& n) { return run_trace(n, trace, sched); });
 }
 
-SimResult run_trace_stream(AnyNetwork& net, RequestStream& stream) {
-  return net.visit([&](auto& n) { return run_trace_stream(n, stream); });
+SimResult run_trace_stream(AnyNetwork& net, RequestStream& stream,
+                           const ScheduleConfig& sched) {
+  return net.visit([&](auto& n) { return run_trace_stream(n, stream, sched); });
 }
 
-SimResult run_trace_static(const KAryTree& tree, const Trace& trace) {
+SimResult run_trace_static(const KAryTree& tree, const Trace& trace,
+                           const ScheduleConfig& sched) {
+  sched.validate();
   SimResult res;
-  for (const Request& r : trace.requests) {
-    res.routing_cost += serve_on_static_tree(tree, r.src, r.dst).routing_cost;
-    ++res.requests;
+  res.schedule = sched.policy;
+  if (!sched.reorders()) {
+    for (const Request& r : trace.requests) {
+      res.routing_cost += serve_on_static_tree(tree, r.src, r.dst).routing_cost;
+      ++res.requests;
+    }
+    return res;
   }
+  // A static tree never rotates, so total routing cost is invariant under
+  // any permutation — locality scheduling here is purely a cache/MLP play
+  // (tests assert the cost tie).
+  std::vector<Request> buf = trace.requests;
+  LocalityScheduler scheduler(sched);
+  scheduler.run(
+      tree, std::span<Request>(buf),
+      [](const Request& r) { return ScheduleEndpoints{r.src, r.dst}; },
+      [&](const Request& r) {
+        res.routing_cost +=
+            serve_on_static_tree(tree, r.src, r.dst).routing_cost;
+        ++res.requests;
+      });
+  res.reordered_requests = scheduler.reordered();
   return res;
 }
 
@@ -72,20 +108,22 @@ struct ChunkSplit {
 /// through here, so their drains cannot diverge.
 ChunkSplit drain_chunk(ShardedNetwork& net, std::span<const Request> chunk,
                        const ShardedRunOptions& opt, SimResult& res) {
-  const PartitionedTrace pt = partition_trace(chunk, net.map());
+  PartitionedTrace pt = partition_trace(chunk, net.map());
   const int S = net.num_shards();
 
   // One result slot and one queue per shard: workers share nothing, so the
-  // drain is deterministic regardless of scheduling.
+  // drain is deterministic regardless of scheduling (locality reordering
+  // included — it permutes each shard's own queue deterministically).
   std::vector<ShardDrain> partial(static_cast<std::size_t>(S));
   if (opt.sequential) {
     for (int s = 0; s < S; ++s)
-      partial[static_cast<std::size_t>(s)] =
-          drain_shard(net.shard(s), pt.ops[static_cast<std::size_t>(s)]);
+      partial[static_cast<std::size_t>(s)] = drain_shard(
+          net.shard(s), pt.ops[static_cast<std::size_t>(s)], opt.schedule);
   } else {
     parallel_for(0, S, opt.threads, [&](long s) {
-      partial[static_cast<std::size_t>(s)] = drain_shard(
-          net.shard(static_cast<int>(s)), pt.ops[static_cast<std::size_t>(s)]);
+      partial[static_cast<std::size_t>(s)] =
+          drain_shard(net.shard(static_cast<int>(s)),
+                      pt.ops[static_cast<std::size_t>(s)], opt.schedule);
     });
   }
 
@@ -98,6 +136,7 @@ ChunkSplit drain_chunk(ShardedNetwork& net, std::span<const Request> chunk,
     res.routing_cost += p.sim.routing_cost;
     res.rotation_count += p.sim.rotation_count;
     res.edge_changes += p.sim.edge_changes;
+    res.reordered_requests += p.sim.reordered_requests;
     total += p.sim.routing_cost + p.sim.rotation_count;
     ascents += p.ascent_cost;
   }
@@ -144,7 +183,9 @@ std::size_t fill_exact(RequestStream& stream, std::span<Request> out) {
 
 SimResult run_trace_sharded_stream(ShardedNetwork& net, RequestStream& stream,
                                    const ShardedRunOptions& opt) {
+  opt.schedule.validate();
   SimResult res;
+  res.schedule = opt.schedule.policy;
   const std::size_t total = stream.size();
 
   const bool adaptive = opt.rebalance != nullptr && opt.rebalance->enabled() &&

@@ -13,9 +13,11 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "sim/any_network.hpp"
+#include "sim/schedule.hpp"
 #include "workload/request.hpp"
 #include "workload/streaming.hpp"
 
@@ -64,6 +66,13 @@ struct SimResult {
   /// frontend; latency.measured stays false for closed-loop replay.
   LatencyStats latency;
 
+  // Batch-scheduling accounting (sim/schedule.hpp). `schedule` records the
+  // policy the run was served under so bench JSON and CLI rows are
+  // self-describing; `reordered_requests` counts requests whose serve
+  // position differed from their arrival position (always 0 under FIFO).
+  SchedulePolicy schedule = SchedulePolicy::kFifo;
+  Cost reordered_requests = 0;
+
   /// Experimental-section total: unit routing + unit rotation cost.
   Cost total_cost() const { return routing_cost + rotation_count; }
   /// Serving total plus what the rebalancer spent moving nodes.
@@ -84,28 +93,100 @@ struct SimResult {
   }
 };
 
+namespace detail {
+
+/// Resolves the tree a LocalityScheduler should key against for a given
+/// network type: the underlying KAryTree where one exists, or the
+/// BinarySplayNet itself (it satisfies the scheduler's scalar lca()/root()
+/// fallback). Networks with no single schedulable tree (ShardedNetwork —
+/// use run_trace_sharded — and the virtual Network escape hatch) fail
+/// kHasScheduleTree and get a runtime error instead.
+template <typename Net>
+constexpr bool kHasScheduleTree =
+    requires(Net& n) { n.tree().root(); } ||
+    requires(Net& n) { n.net().tree().root(); } ||
+    requires(Net& n) {
+      n.lca(NodeId{1}, NodeId{1});
+      n.root();
+    } ||
+    requires(Net& n) {
+      n.net().lca(NodeId{1}, NodeId{1});
+      n.net().root();
+    };
+
+template <typename Net>
+decltype(auto) schedule_tree(Net& net) {
+  if constexpr (requires { net.tree().root(); })
+    return (net.tree());
+  else if constexpr (requires { net.net().tree().root(); })
+    return (net.net().tree());
+  else if constexpr (requires {
+                       net.lca(NodeId{1}, NodeId{1});
+                       net.root();
+                     })
+    return (net);
+  else
+    return (net.net());
+}
+
+}  // namespace detail
+
 /// Replays a request stream over `net`, mutating it, pulling one chunk at
 /// a time — O(kStreamChunkRequests) memory regardless of the stream
 /// length. Monomorphic per network type: works on any object with a
 /// `ServeResult serve(NodeId, NodeId)` member (all concrete networks,
 /// ShardedNetwork, and the virtual Network escape hatch alike).
+///
+/// `sched` selects the intra-chunk serve order (sim/schedule.hpp). The
+/// default FIFO path is the pre-scheduler loop, untouched; kLocality
+/// reorders within windows of each chunk and throws for network types with
+/// no schedulable tree (ShardedNetwork — use run_trace_sharded — and the
+/// virtual escape hatch).
 template <typename Net>
-SimResult run_trace_stream(Net& net, RequestStream& stream) {
+SimResult run_trace_stream(Net& net, RequestStream& stream,
+                           const ScheduleConfig& sched = {}) {
+  sched.validate();
   SimResult res;
+  res.schedule = sched.policy;
   Cost cross_before = 0;
   if constexpr (requires { net.cross_shard_served(); })
     cross_before = net.cross_shard_served();
   std::vector<Request> chunk(kStreamChunkRequests);
-  while (true) {
-    const std::size_t got = stream.fill(chunk);
-    if (got == 0) break;
-    for (std::size_t i = 0; i < got; ++i) {
-      const ServeResult s = net.serve(chunk[i].src, chunk[i].dst);
+  if (!sched.reorders()) {
+    while (true) {
+      const std::size_t got = stream.fill(chunk);
+      if (got == 0) break;
+      for (std::size_t i = 0; i < got; ++i) {
+        const ServeResult s = net.serve(chunk[i].src, chunk[i].dst);
+        res.routing_cost += s.routing_cost;
+        res.rotation_count += s.rotations;
+        res.edge_changes += s.edge_changes;
+      }
+      res.requests += got;
+    }
+  } else if constexpr (detail::kHasScheduleTree<Net>) {
+    LocalityScheduler scheduler(sched);
+    const auto resolve = [](const Request& r) {
+      return ScheduleEndpoints{r.src, r.dst};
+    };
+    const auto serve_one = [&](const Request& r) {
+      const ServeResult s = net.serve(r.src, r.dst);
       res.routing_cost += s.routing_cost;
       res.rotation_count += s.rotations;
       res.edge_changes += s.edge_changes;
+    };
+    while (true) {
+      const std::size_t got = stream.fill(chunk);
+      if (got == 0) break;
+      scheduler.run(detail::schedule_tree(net),
+                    std::span<Request>(chunk.data(), got), resolve, serve_one);
+      res.requests += got;
     }
-    res.requests += got;
+    res.reordered_requests = scheduler.reordered();
+  } else {
+    throw TreeError(
+        "locality schedule is not supported for this network type "
+        "(no schedulable tree; sharded runs go through run_trace_sharded)");
   }
   if constexpr (requires { net.cross_shard_served(); })
     res.cross_shard = net.cross_shard_served() - cross_before;
@@ -115,18 +196,25 @@ SimResult run_trace_stream(Net& net, RequestStream& stream) {
 /// Materialized adapter: identical serve order, hence identical costs —
 /// run_trace(net, trace) is run_trace_stream over a TraceStream.
 template <typename Net>
-SimResult run_trace(Net& net, const Trace& trace) {
+SimResult run_trace(Net& net, const Trace& trace,
+                    const ScheduleConfig& sched = {}) {
   TraceStream stream(trace);
-  return run_trace_stream(net, stream);
+  return run_trace_stream(net, stream, sched);
 }
 
 /// Single visit, then the monomorphic loop above on the held alternative.
-SimResult run_trace(AnyNetwork& net, const Trace& trace);
-SimResult run_trace_stream(AnyNetwork& net, RequestStream& stream);
+SimResult run_trace(AnyNetwork& net, const Trace& trace,
+                    const ScheduleConfig& sched = {});
+SimResult run_trace_stream(AnyNetwork& net, RequestStream& stream,
+                           const ScheduleConfig& sched = {});
 
 /// Static-tree shortcut (used by benches to cost a fixed topology against
-/// a long trace).
-SimResult run_trace_static(const KAryTree& tree, const Trace& trace);
+/// a long trace). Locality scheduling is supported and provably
+/// cost-neutral here — a static tree never rotates, so total cost is
+/// order-invariant; the reorder + interleaved path_info_batch walk is a
+/// pure throughput play.
+SimResult run_trace_static(const KAryTree& tree, const Trace& trace,
+                           const ScheduleConfig& sched = {});
 
 /// How run_trace_sharded drains the per-shard queues.
 struct ShardedRunOptions {
@@ -139,6 +227,11 @@ struct ShardedRunOptions {
   /// the planned batch, resume). Null or disabled reproduces the static
   /// pipeline bit for bit.
   const RebalanceConfig* rebalance = nullptr;
+  /// Intra-shard serve order within each drained queue (sim/schedule.hpp).
+  /// Reordering is per-shard and per-chunk, so the sequential/concurrent
+  /// bit-identity guarantee is preserved: shards share nothing and each
+  /// shard's scheduled order is deterministic.
+  ScheduleConfig schedule{};
 };
 
 /// Batched sharded pipeline: partitions `trace` into per-shard op queues

@@ -310,6 +310,60 @@ RequestGen make_rotating_hotset(int n, std::size_t m, int hot,
   return co_rotating_hotset(n, m, hot, rotate_every, seed);
 }
 
+RequestGen co_sequential_scan(int n, std::size_t m, std::uint64_t seed) {
+  // Fully deterministic: the seed only rotates the starting position of
+  // the cyclic (u, u+1) walk so different seeds exercise different wrap
+  // points.
+  NodeId u = static_cast<NodeId>(
+      1 + seed % static_cast<std::uint64_t>(n - 1));
+  for (std::size_t i = 0; i < m; ++i) {
+    co_yield Request{u, static_cast<NodeId>(u + 1)};
+    ++u;
+    if (u >= static_cast<NodeId>(n)) u = 1;
+  }
+}
+
+RequestGen make_sequential_scan(int n, std::size_t m, std::uint64_t seed) {
+  if (n < 2) throw TreeError("gen_sequential_scan needs n >= 2");
+  return co_sequential_scan(n, m, seed);
+}
+
+RequestGen co_bit_reversal(int n, std::size_t m, std::uint64_t seed) {
+  // Walk the bit-reversal permutation of the smallest power-of-two id
+  // space covering n, skipping out-of-range values, and pair consecutive
+  // visited ids. The seed rotates the starting offset in the permutation.
+  int bits = 1;
+  while ((std::uint32_t{1} << bits) < static_cast<std::uint32_t>(n)) ++bits;
+  const std::uint32_t period = std::uint32_t{1} << bits;
+  const auto rev = [bits](std::uint32_t x) {
+    std::uint32_t r = 0;
+    for (int b = 0; b < bits; ++b) {
+      r = (r << 1) | (x & 1u);
+      x >>= 1;
+    }
+    return r;
+  };
+  std::uint32_t j = static_cast<std::uint32_t>(seed % period);
+  NodeId prev = kNoNode;
+  std::size_t emitted = 0;
+  while (emitted < m) {
+    const std::uint32_t r = rev(j & (period - 1));
+    ++j;
+    if (r >= static_cast<std::uint32_t>(n)) continue;
+    const NodeId cur = static_cast<NodeId>(r + 1);
+    if (prev != kNoNode && prev != cur) {
+      co_yield Request{prev, cur};
+      ++emitted;
+    }
+    prev = cur;
+  }
+}
+
+RequestGen make_bit_reversal(int n, std::size_t m, std::uint64_t seed) {
+  if (n < 2) throw TreeError("gen_bit_reversal needs n >= 2");
+  return co_bit_reversal(n, m, seed);
+}
+
 }  // namespace
 
 Trace gen_uniform(int n, std::size_t m, std::uint64_t seed) {
@@ -342,6 +396,14 @@ Trace gen_rotating_hotset(int n, std::size_t m, int hot,
   return drain(n, m, make_rotating_hotset(n, m, hot, rotate_every, seed));
 }
 
+Trace gen_sequential_scan(int n, std::size_t m, std::uint64_t seed) {
+  return drain(n, m, make_sequential_scan(n, m, seed));
+}
+
+Trace gen_bit_reversal(int n, std::size_t m, std::uint64_t seed) {
+  return drain(n, m, make_bit_reversal(n, m, seed));
+}
+
 const char* workload_name(WorkloadKind kind) {
   switch (kind) {
     case WorkloadKind::kUniform:
@@ -364,6 +426,10 @@ const char* workload_name(WorkloadKind kind) {
       return "PhaseElephants";
     case WorkloadKind::kRotatingHot:
       return "RotatingHot";
+    case WorkloadKind::kSequentialScan:
+      return "SequentialScan";
+    case WorkloadKind::kBitReversal:
+      return "BitReversal";
   }
   return "?";
 }
@@ -385,6 +451,8 @@ int paper_node_count(WorkloadKind kind) {
       return 10000;
     case WorkloadKind::kPhaseElephants:
     case WorkloadKind::kRotatingHot:
+    case WorkloadKind::kSequentialScan:
+    case WorkloadKind::kBitReversal:
       return 1024;
   }
   return 0;
@@ -416,6 +484,10 @@ RequestGen stream_workload(WorkloadKind kind, int n, std::size_t m,
       return make_rotating_hotset(
           n, m, /*hot=*/std::max(2, n / 16),
           /*rotate_every=*/std::max<std::size_t>(1, m / 16), seed);
+    case WorkloadKind::kSequentialScan:
+      return make_sequential_scan(n, m, seed);
+    case WorkloadKind::kBitReversal:
+      return make_bit_reversal(n, m, seed);
   }
   throw TreeError("unknown workload kind");
 }

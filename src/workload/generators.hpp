@@ -61,6 +61,24 @@ Trace gen_phase_elephants(int n, std::size_t m, int phases,
 Trace gen_rotating_hotset(int n, std::size_t m, int hot,
                           std::size_t rotate_every, std::uint64_t seed);
 
+// --- adversarial workloads (scenario-wall generators) ------------------
+// Deterministic patterns built to defeat specific optimizations rather
+// than model real traffic: the scheduling and rebalance benches use them
+// as the honest "where it loses" cells.
+
+/// Sequential scan: the cyclic neighbour walk (u, u+1), (u+1, u+2), ... —
+/// the classic splay-friendly sequential access pattern, amortized O(1)
+/// per request under FIFO. Any locality reorder scrambles the chain the
+/// splay tree is exploiting, so this is the adversarial case for batch
+/// scheduling. `seed` only rotates the starting position.
+Trace gen_sequential_scan(int n, std::size_t m, std::uint64_t seed);
+
+/// Bit reversal: requests pair consecutive elements of the bit-reversal
+/// permutation of the id space — maximal spatial jumps with no reuse, the
+/// classic anti-locality order (cf. the bit-reversal lower-bound family
+/// for BSTs). `seed` rotates the starting offset within the permutation.
+Trace gen_bit_reversal(int n, std::size_t m, std::uint64_t seed);
+
 /// Identifier of the workloads used by benches/examples.
 enum class WorkloadKind {
   kUniform,
@@ -73,6 +91,8 @@ enum class WorkloadKind {
   kFacebook,
   kPhaseElephants,  ///< gen_phase_elephants, 8 phases
   kRotatingHot,     ///< gen_rotating_hotset, hot = n/16, 16 rotations
+  kSequentialScan,  ///< gen_sequential_scan (adversarial, deterministic)
+  kBitReversal,     ///< gen_bit_reversal (adversarial, deterministic)
 };
 
 const char* workload_name(WorkloadKind kind);

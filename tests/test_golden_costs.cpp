@@ -44,6 +44,8 @@ const std::vector<WorkloadKind> kKinds = {
     // Drifting families (PR 4): rows generated at their introduction, so
     // unlike the rows above they lock current — not seed — behaviour.
     WorkloadKind::kPhaseElephants, WorkloadKind::kRotatingHot,
+    // Adversarial families (PR 8, deterministic): same caveat.
+    WorkloadKind::kSequentialScan, WorkloadKind::kBitReversal,
 };
 
 struct NetworkSpec {
@@ -199,6 +201,24 @@ const Golden kGoldens[] = {
     {"RotatingHot", "static-full-k3", 1850, 0},
     {"RotatingHot", "static-centroid-k3", 2097, 0},
     {"RotatingHot", "static-optimal-k3", 1208, 0},
+    {"SequentialScan", "splay-k2", 820, 794},
+    {"SequentialScan", "splay-k3", 1750, 3900},
+    {"SequentialScan", "splay-k5", 1777, 3868},
+    {"SequentialScan", "semi-splay-k3", 1945, 4352},
+    {"SequentialScan", "centroid-k3", 1710, 3148},
+    {"SequentialScan", "binary", 786, 706},
+    {"SequentialScan", "static-full-k3", 918, 0},
+    {"SequentialScan", "static-centroid-k3", 920, 0},
+    {"SequentialScan", "static-optimal-k3", 500, 0},
+    {"BitReversal", "splay-k2", 4981, 13424},
+    {"BitReversal", "splay-k3", 3889, 12166},
+    {"BitReversal", "splay-k5", 3553, 11686},
+    {"BitReversal", "semi-splay-k3", 4657, 13982},
+    {"BitReversal", "centroid-k3", 3091, 5538},
+    {"BitReversal", "binary", 4949, 13376},
+    {"BitReversal", "static-full-k3", 2378, 0},
+    {"BitReversal", "static-centroid-k3", 2217, 0},
+    {"BitReversal", "static-optimal-k3", 1926, 0},
 };
 
 bool print_mode() {
