@@ -73,6 +73,11 @@ struct Options {
   std::string partition = "contiguous";
   std::string rebalance = "none";
   std::size_t epoch = 5000;
+  double split_watermark = 0.0;  // > 0 enables watermark-triggered splits
+  double merge_watermark = 0.0;  // > 0 enables cold-shard merges
+  int replicas = 0;              // planned read replicas (batch pipeline)
+  std::string fault;             // kill script "IDX@SHARD[,IDX@SHARD...]"
+  double recovery_slo = 0.0;     // ms; > 0 prints an SLO verdict
   std::string schedule = "fifo";
   int sched_window = 1024;
   int sched_group = 8;
@@ -125,6 +130,9 @@ Cost optimal_cost_for(const Trace& trace, int k) {
          "          [--n N] [--requests M] [--seed S] [--csv]\n"
          "          [--shards S] [--partition contiguous|hash]\n"
          "          [--rebalance none|hotpair|watermark] [--epoch N]\n"
+         "          [--split-watermark X] [--merge-watermark X]\n"
+         "          [--replicas R] [--fault IDX@SHARD[,...]]\n"
+         "          [--recovery-slo MS]\n"
          "          [--schedule fifo|locality] [--sched-window W]\n"
          "          [--sched-group G]\n"
          "          [--open-loop] [--arrival poisson|bursty|saturation]\n"
@@ -138,6 +146,13 @@ Cost optimal_cost_for(const Trace& trace, int k) {
          "topologies: ksplay semisplay centroid binary full optimal\n"
          "--shards > 1 runs ksplay/semisplay shards under a static top tree\n"
          "--rebalance adds adaptive migration epochs (needs --shards > 1)\n"
+         "--split-watermark/--merge-watermark add tablet-style shard\n"
+         "  lifecycle epochs (split the hot shard / merge the two coldest);\n"
+         "  --replicas R keeps the R hottest shards read-replicated. Batch\n"
+         "  pipeline only (the open-loop frontend's topology is fixed)\n"
+         "--fault kills shard SHARD when the request counter reaches IDX and\n"
+         "  crash-recovers it (replica promotion, else snapshot + replay);\n"
+         "  --recovery-slo MS prints a pass/fail verdict on recovery time\n"
          "--schedule locality reorders requests within --sched-window slots\n"
          "  by LCA cluster and serves --sched-group descents behind an\n"
          "  interleaved prefetch warm-up (per shard / admission batch);\n"
@@ -184,6 +199,11 @@ Options parse(int argc, char** argv) {
       if (v < 0) usage(argv[0]);
       o.epoch = static_cast<std::size_t>(v);
     }
+    else if (arg == "--split-watermark") o.split_watermark = std::stod(next());
+    else if (arg == "--merge-watermark") o.merge_watermark = std::stod(next());
+    else if (arg == "--replicas") o.replicas = std::stoi(next());
+    else if (arg == "--fault") o.fault = next();
+    else if (arg == "--recovery-slo") o.recovery_slo = std::stod(next());
     else if (arg == "--schedule") o.schedule = next();
     else if (arg == "--sched-window") o.sched_window = std::stoi(next());
     else if (arg == "--sched-group") o.sched_group = std::stoi(next());
@@ -259,6 +279,46 @@ RebalancePolicy parse_rebalance(const std::string& name) {
   if (name == "hotpair") return RebalancePolicy::kHotPair;
   if (name == "watermark") return RebalancePolicy::kWatermark;
   throw TreeError("unknown rebalance policy: " + name);
+}
+
+RebalanceConfig make_rebalance_config(const Options& o,
+                                      RebalancePolicy policy) {
+  RebalanceConfig cfg;
+  cfg.policy = policy;
+  cfg.epoch_requests = o.epoch;
+  cfg.split_watermark = o.split_watermark;
+  cfg.merge_watermark = o.merge_watermark;
+  cfg.replicas = o.replicas;
+  return cfg;
+}
+
+FaultPlan make_fault_plan(const Options& o) {
+  FaultPlan plan;
+  if (!o.fault.empty()) plan = parse_fault_plan(o.fault);
+  plan.recovery_slo_ms = o.recovery_slo;
+  return plan;
+}
+
+void add_lifecycle_rows(Table& out, const SimResult& res) {
+  out.add_row({"shard splits", std::to_string(res.shard_splits)});
+  out.add_row({"shard merges", std::to_string(res.shard_merges)});
+  out.add_row({"lifecycle cost", std::to_string(res.lifecycle_cost)});
+  out.add_row({"final shards", std::to_string(res.final_shards)});
+  out.add_row({"replica reads", std::to_string(res.replica_reads)});
+}
+
+void add_fault_rows(Table& out, const SimResult& res, const FaultPlan& plan) {
+  out.add_row({"faults injected", std::to_string(res.faults_injected)});
+  out.add_row({"replica promotions", std::to_string(res.replica_promotions)});
+  out.add_row(
+      {"recovery replayed ops", std::to_string(res.recovery_replayed)});
+  out.add_row({"recovery cost", std::to_string(res.recovery_cost)});
+  out.add_row({"recovery max (ms)", fixed_cell(res.recovery_max_ms)});
+  if (plan.recovery_slo_ms > 0.0)
+    out.add_row({"recovery SLO (" + fixed_cell(plan.recovery_slo_ms) + " ms)",
+                 res.recovery_max_ms <= plan.recovery_slo_ms
+                     ? std::string("met")
+                     : std::string("MISSED")});
 }
 
 // `opt_cost` receives the DP value when this factory already computed it
@@ -352,9 +412,12 @@ int main(int argc, char** argv) {
       ShardedNetwork net = ShardedNetwork::balanced(
           o.k, static_cast<int>(stream->n()), std::max(1, o.shards),
           parse_partition(o.partition), RotationPolicy{}, mode);
-      RebalanceConfig cfg;
-      cfg.policy = rebalance;
-      cfg.epoch_requests = o.epoch;
+      const RebalanceConfig cfg = make_rebalance_config(o, rebalance);
+      const FaultPlan faults = make_fault_plan(o);
+      if (o.open_loop && cfg.lifecycle_enabled())
+        throw TreeError(
+            "shard lifecycle flags are batch-pipeline-only (drop --open-loop "
+            "or the --split-watermark/--merge-watermark/--replicas flags)");
 
       Table out({"metric", "value"});
       out.add_row({"network", net.name() + (o.open_loop
@@ -365,6 +428,7 @@ int main(int argc, char** argv) {
         FrontendOptions fopt;
         if (rebalance != RebalancePolicy::kNone) fopt.rebalance = &cfg;
         fopt.schedule = sched;
+        if (faults.enabled()) fopt.faults = &faults;
         StreamingArrivalSchedule schedule(arrival, o.rate, o.seed);
         ServeFrontend frontend(net, fopt);
         const FrontendResult r = frontend.run_stream(*stream, schedule);
@@ -398,10 +462,13 @@ int main(int argc, char** argv) {
           out.add_row({"intra-shard fraction (at dispatch)",
                        fixed_cell(r.sim.post_intra_fraction)});
         }
+        if (faults.enabled()) add_fault_rows(out, r.sim, faults);
       } else {
         ShardedRunOptions ropt;
-        if (rebalance != RebalancePolicy::kNone) ropt.rebalance = &cfg;
+        if (rebalance != RebalancePolicy::kNone || cfg.lifecycle_enabled())
+          ropt.rebalance = &cfg;
         ropt.schedule = sched;
+        if (faults.enabled()) ropt.faults = &faults;
         const SimResult res = run_trace_sharded_stream(net, *stream, ropt);
         out.add_row({"requests", std::to_string(res.requests)});
         if (sched.reorders()) {
@@ -424,6 +491,8 @@ int main(int argc, char** argv) {
           out.add_row({"intra-shard fraction (at dispatch)",
                        fixed_cell(res.post_intra_fraction)});
         }
+        if (cfg.lifecycle_enabled()) add_lifecycle_rows(out, res);
+        if (faults.enabled()) add_fault_rows(out, res, faults);
       }
       if (o.csv)
         std::cout << out.to_csv();
@@ -447,6 +516,16 @@ int main(int argc, char** argv) {
       throw TreeError("--rebalance needs --shards > 1");
     if (rebalance != RebalancePolicy::kNone && o.epoch == 0)
       throw TreeError("--rebalance needs --epoch > 0");
+    const RebalanceConfig lifecycle_cfg = make_rebalance_config(o, rebalance);
+    const FaultPlan faults = make_fault_plan(o);
+    if (lifecycle_cfg.lifecycle_enabled() && o.open_loop)
+      throw TreeError(
+          "shard lifecycle flags are batch-pipeline-only (drop --open-loop "
+          "or the --split-watermark/--merge-watermark/--replicas flags)");
+    if ((lifecycle_cfg.lifecycle_enabled() || faults.enabled()) &&
+        o.shards <= 1 && !o.open_loop)
+      throw TreeError("--split-watermark/--merge-watermark/--replicas/--fault "
+                      "need --shards > 1 (or --open-loop for --fault)");
     if (o.open_loop) {
       // Live serving path: ServeFrontend over a ShardedNetwork (S = 1 is
       // the single-worker degenerate case with identical costs).
@@ -464,6 +543,7 @@ int main(int argc, char** argv) {
       FrontendOptions fopt;
       if (rebalance != RebalancePolicy::kNone) fopt.rebalance = &cfg;
       fopt.schedule = sched;
+      if (faults.enabled()) fopt.faults = &faults;
       const auto arrivals = gen_arrival_times(
           arrival, arrival == ArrivalKind::kSaturation ? 0.0 : o.rate,
           trace.size(), o.seed);
@@ -502,6 +582,7 @@ int main(int argc, char** argv) {
         out.add_row({"final intra-shard fraction",
                      fixed_cell(r.sim.post_intra_fraction)});
       }
+      if (faults.enabled()) add_fault_rows(out, r.sim, faults);
       if (o.csv)
         std::cout << out.to_csv();
       else
@@ -518,17 +599,21 @@ int main(int argc, char** argv) {
     out.add_row({"requests", std::to_string(trace.size())});
     out.add_row({"trace repeat fraction", fixed_cell(st.repeat_fraction)});
 
-    if (rebalance != RebalancePolicy::kNone) {
-      // Adaptive path: the batched pipeline with rebalance epochs. Costs
-      // come as totals (no per-request series through the drains).
-      RebalanceConfig cfg;
-      cfg.policy = rebalance;
-      cfg.epoch_requests = o.epoch;
+    if (rebalance != RebalancePolicy::kNone ||
+        lifecycle_cfg.lifecycle_enabled() || faults.enabled()) {
+      // Adaptive path: the batched pipeline with rebalance / lifecycle
+      // epochs and scripted faults. Costs come as totals (no per-request
+      // series through the drains).
       ShardedNetwork& sharded = *net.get_if<ShardedNetwork>();
-      const SimResult res = run_trace_sharded(
-          sharded, trace, {.rebalance = &cfg, .schedule = sched});
+      ShardedRunOptions ropt;
+      if (rebalance != RebalancePolicy::kNone ||
+          lifecycle_cfg.lifecycle_enabled())
+        ropt.rebalance = &lifecycle_cfg;
+      ropt.schedule = sched;
+      if (faults.enabled()) ropt.faults = &faults;
+      const SimResult res = run_trace_sharded(sharded, trace, ropt);
       out.add_row({"rebalance policy", o.rebalance});
-      out.add_row({"epoch requests", std::to_string(cfg.epoch_requests)});
+      out.add_row({"epoch requests", std::to_string(o.epoch)});
       if (sched.reorders()) {
         out.add_row({"schedule", schedule_policy_name(res.schedule)});
         out.add_row(
@@ -548,6 +633,8 @@ int main(int argc, char** argv) {
       out.add_row({"shard load imbalance",
                    fixed_cell(compute_shard_stats(trace, sharded.map())
                                   .load_imbalance())});
+      if (lifecycle_cfg.lifecycle_enabled()) add_lifecycle_rows(out, res);
+      if (faults.enabled()) add_fault_rows(out, res, faults);
       if (o.optimal_gap) {
         const Cost opt = optimal_cost_for(trace, o.k);
         out.add_row({"optimal static cost", std::to_string(opt)});

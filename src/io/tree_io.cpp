@@ -15,8 +15,22 @@ std::string encode_key(RoutingKey k) {
 RoutingKey decode_key(const std::string& s) {
   if (s == "min") return kKeyMin;
   if (s == "max") return kKeyMax;
-  return static_cast<RoutingKey>(std::stoll(s));
+  try {
+    return static_cast<RoutingKey>(std::stoll(s));
+  } catch (const std::exception&) {
+    // stoll throws std::invalid_argument / out_of_range; surface hostile
+    // bytes as the library's own error type like every other load failure.
+    throw TreeError("read_tree: malformed routing key '" + s + "'");
+  }
 }
+
+// Hard caps on header-claimed sizes, in the spirit of trace_io's
+// kMaxHeaderReserve: a hostile or truncated header must not be able to
+// drive allocation before a single node record has been checked. 2^24
+// nodes is an order of magnitude past the n = 10^6 scaling runs; arity is
+// structural (tens, not thousands).
+constexpr long long kMaxTreeNodes = 1 << 24;
+constexpr long long kMaxTreeArity = 1 << 16;
 
 }  // namespace
 
@@ -42,26 +56,51 @@ void write_tree_file(const std::string& path, const KAryTree& tree) {
 
 KAryTree read_tree(std::istream& in) {
   std::string magic, version;
-  int k = 0, n = 0;
-  NodeId root = kNoNode;
-  if (!(in >> magic >> version >> k >> n >> root) || magic != "san-tree" ||
+  long long k = 0, n = 0, root_v = 0;
+  if (!(in >> magic >> version >> k >> n >> root_v) || magic != "san-tree" ||
       version != "v1")
     throw TreeError("read_tree: bad header (expected 'san-tree v1 k n root')");
-  KAryTree tree(k, n);
-  for (int i = 0; i < n; ++i) {
-    long id = 0;
+  // Bound everything the header claims *before* allocating on its word —
+  // a corrupt or hostile header is an error message, not an OOM.
+  if (k < 2 || k > kMaxTreeArity)
+    throw TreeError("read_tree: arity " + std::to_string(k) +
+                    " out of range [2, " + std::to_string(kMaxTreeArity) +
+                    "]");
+  if (n < 0 || n > kMaxTreeNodes)
+    throw TreeError("read_tree: node count " + std::to_string(n) +
+                    " out of range [0, " + std::to_string(kMaxTreeNodes) +
+                    "]");
+  if (n == 0 ? root_v != static_cast<long long>(kNoNode)
+             : (root_v < 1 || root_v > n))
+    throw TreeError("read_tree: root " + std::to_string(root_v) +
+                    " out of range for n=" + std::to_string(n));
+  const NodeId root = static_cast<NodeId>(root_v);
+  KAryTree tree(static_cast<int>(k), static_cast<int>(n));
+  std::vector<char> seen(static_cast<std::size_t>(n) + 1, 0);
+  for (long long i = 0; i < n; ++i) {
+    long long id = 0;
     std::string lo_s, hi_s;
-    size_t num_keys = 0;
+    long long num_keys = 0;
     if (!(in >> id >> lo_s >> hi_s >> num_keys))
       throw TreeError("read_tree: truncated node record");
     if (id < 1 || id > n) throw TreeError("read_tree: node id out of range");
-    std::vector<RoutingKey> keys(num_keys);
+    if (seen[static_cast<std::size_t>(id)])
+      throw TreeError("read_tree: duplicate node id " + std::to_string(id));
+    seen[static_cast<std::size_t>(id)] = 1;
+    // A node routes over at most k - 1 keys; checked before the
+    // allocation so a forged count cannot reserve unbounded memory.
+    if (num_keys < 0 || num_keys > k - 1)
+      throw TreeError("read_tree: node " + std::to_string(id) + " claims " +
+                      std::to_string(num_keys) + " keys (arity " +
+                      std::to_string(k) + " allows at most " +
+                      std::to_string(k - 1) + ")");
+    std::vector<RoutingKey> keys(static_cast<std::size_t>(num_keys));
     for (RoutingKey& key : keys) {
       std::string s;
       if (!(in >> s)) throw TreeError("read_tree: truncated key list");
       key = decode_key(s);
     }
-    std::vector<NodeId> children(num_keys + 1);
+    std::vector<NodeId> children(static_cast<std::size_t>(num_keys) + 1);
     for (NodeId& c : children) {
       long v = 0;
       if (!(in >> v)) throw TreeError("read_tree: truncated child list");

@@ -1,0 +1,46 @@
+#include "sim/fault.hpp"
+
+#include <stdexcept>
+
+#include "core/types.hpp"
+
+namespace san {
+
+void FaultPlan::validate() const {
+  for (std::size_t i = 0; i < kills.size(); ++i) {
+    if (kills[i].shard < 0)
+      throw TreeError("FaultPlan: kill " + std::to_string(i) +
+                      " has a negative shard id");
+    if (i > 0 && kills[i].at_request < kills[i - 1].at_request)
+      throw TreeError(
+          "FaultPlan: kills must be sorted by at_request (kill " +
+          std::to_string(i) + " fires before its predecessor)");
+  }
+}
+
+FaultPlan parse_fault_plan(const std::string& spec) {
+  if (spec.empty())
+    throw TreeError("parse_fault_plan: empty kill script");
+  FaultPlan plan;
+  std::size_t pos = 0;
+  while (pos < spec.size()) {
+    std::size_t end = spec.find(',', pos);
+    if (end == std::string::npos) end = spec.size();
+    const std::string item = spec.substr(pos, end - pos);
+    const std::size_t at = item.find('@');
+    if (at == std::string::npos || at == 0 || at + 1 >= item.size())
+      throw TreeError("parse_fault_plan: expected IDX@SHARD, got '" + item +
+                      "'");
+    try {
+      plan.kills.push_back({std::stoull(item.substr(0, at)),
+                            std::stoi(item.substr(at + 1))});
+    } catch (const std::exception&) {
+      throw TreeError("parse_fault_plan: malformed number in '" + item + "'");
+    }
+    pos = end + 1;
+  }
+  plan.validate();
+  return plan;
+}
+
+}  // namespace san

@@ -1,0 +1,62 @@
+// Deterministic fault injection for the sharded serving engine.
+//
+// A FaultPlan is a script of shard kills keyed to the global request
+// index: "after `at_request` requests have been served, shard `shard`
+// loses its in-memory tree". Because the trigger is a request count — not
+// wall time — a failure scenario replays bit-exactly: the batch pipeline
+// (sim/simulator.hpp) splits its drain chunks at the kill points, so the
+// pre-crash state, the tree_io snapshot the recovery restores, and the
+// trace tail it replays are identical on every run, sequential or
+// concurrent. The open-loop frontend (sim/serve_frontend.hpp) fires the
+// same script at its dispatch counter and recovers at a quiesce barrier;
+// its recovered state is dispatch-order-consistent rather than bit-exact
+// (real-time interleaving is not replayable — see the frontend's file
+// comment).
+//
+// Recovery itself is two-tier, mirroring tablet servers: a shard with a
+// live replica fails over by promotion (the lockstep copy already holds
+// the exact pre-crash state); an unreplicated shard is rebuilt from its
+// last tree_io snapshot plus a replay of the trace tail served since that
+// snapshot. Replay costs are accounted separately from serve costs
+// (SimResult::recovery_cost), the same convention migration_cost uses, so
+// a faulted run's golden serve counters match the unfaulted run's.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace san {
+
+/// One scripted shard kill: fires when `at_request` requests have been
+/// served/dispatched (i.e. between request at_request-1 and at_request).
+struct FaultEvent {
+  std::size_t at_request = 0;
+  int shard = -1;
+
+  friend bool operator==(const FaultEvent&, const FaultEvent&) = default;
+};
+
+struct FaultPlan {
+  /// Kill script; must be non-decreasing in at_request (validated by the
+  /// engines before the run starts). Kills scheduled past the end of the
+  /// trace simply never fire.
+  std::vector<FaultEvent> kills;
+  /// Recovery-time objective in milliseconds, carried through to reports
+  /// (bench/lifecycle_scaling, san_cli); 0 = no SLO configured. The
+  /// engines measure, they do not enforce.
+  double recovery_slo_ms = 0.0;
+
+  bool enabled() const { return !kills.empty(); }
+
+  /// Throws TreeError when the script is malformed: unsorted kill indices
+  /// or a negative shard id. Shard ids are range-checked at fire time
+  /// against the *live* shard count (splits/merges may have changed it).
+  void validate() const;
+};
+
+/// Parses a CLI kill script: "IDX@SHARD[,IDX@SHARD...]", e.g.
+/// "50000@2,80000@0". Throws TreeError on malformed input.
+FaultPlan parse_fault_plan(const std::string& spec);
+
+}  // namespace san

@@ -109,6 +109,7 @@ struct WorkerState {
   Cost intra_cost = 0;
   std::size_t intra_requests = 0;
   std::size_t cross_requests = 0;  ///< completed second legs
+  Cost replica_reads = 0;          ///< intra serves answered by the replica
   std::size_t handovers = 0;
   std::size_t forwards = 0;
   Cost reordered = 0;  ///< batch slots permuted by the locality schedule
@@ -129,6 +130,13 @@ ServeFrontend::ServeFrontend(ShardedNetwork& net, FrontendOptions opt)
     throw TreeError(
         "ServeFrontend: locality schedule needs admission_batch >= 2 "
         "(a 1-item batch can never reorder)");
+  if (opt_.rebalance != nullptr && opt_.rebalance->lifecycle_enabled())
+    throw TreeError(
+        "ServeFrontend: shard lifecycle (split/merge watermarks, planned "
+        "replicas) is batch-pipeline-only — the frontend's worker-per-shard "
+        "topology is fixed for a run. Replicate statically with "
+        "ShardedNetwork::add_replica instead.");
+  if (opt_.faults != nullptr) opt_.faults->validate();
 }
 
 FrontendResult ServeFrontend::run(const Trace& trace,
@@ -189,6 +197,8 @@ FrontendResult ServeFrontend::run_stream(RequestStream& stream,
           return;
         }
         const ServeResult sr = shard.access(map.local_of(item.src));
+        if (KArySplayNet* rep = net_.replica_mut(s))
+          rep->access(map.local_of(item.src));
         ws.routing += sr.routing_cost + item.pending_top;
         ws.rotations += sr.rotations;
         ws.edges += sr.edge_changes;
@@ -208,8 +218,17 @@ FrontendResult ServeFrontend::run_stream(RequestStream& stream,
       ws.queue_wait.record(now_ns() - item.arrival_ns);
       const int b = map.shard_of(item.dst);
       if (b == s) {
-        const ServeResult sr =
-            shard.serve(map.local_of(item.src), map.local_of(item.dst));
+        // A replicated shard answers intra requests from its lockstep
+        // replica (bit-identical results — the pair never diverges) and
+        // mirrors the splay into the primary; cost is charged once.
+        ServeResult sr;
+        if (KArySplayNet* rep = net_.replica_mut(s)) {
+          sr = rep->serve(map.local_of(item.src), map.local_of(item.dst));
+          shard.serve(map.local_of(item.src), map.local_of(item.dst));
+          ++ws.replica_reads;
+        } else {
+          sr = shard.serve(map.local_of(item.src), map.local_of(item.dst));
+        }
         ws.routing += sr.routing_cost;
         ws.rotations += sr.rotations;
         ws.edges += sr.edge_changes;
@@ -221,6 +240,8 @@ FrontendResult ServeFrontend::run_stream(RequestStream& stream,
         // First leg: ascend u to this shard's root, hand the request
         // over to v's shard with the top-tree route priced in.
         const ServeResult sr = shard.access(map.local_of(item.src));
+        if (KArySplayNet* rep = net_.replica_mut(s))
+          rep->access(map.local_of(item.src));
         ws.routing += sr.routing_cost;
         ws.rotations += sr.rotations;
         ws.edges += sr.edge_changes;
@@ -287,6 +308,64 @@ FrontendResult ServeFrontend::run_stream(RequestStream& stream,
       std::this_thread::yield();
   };
 
+  // ---- scripted crash injection (sim/fault.hpp) -----------------------
+  // While kills are pending the dispatcher keeps a fleet snapshot plus the
+  // tail of requests dispatched since it; resume points are run start,
+  // post-recovery and post-epoch-barrier instants, so the tail never spans
+  // a map change. A kill quiesces the (drained, handovers included)
+  // pipeline, then recovers: replica promotion when the shard is
+  // replicated, else snapshot restore + dispatch-order tail replay.
+  std::vector<FaultEvent> kills;
+  if (opt_.faults != nullptr && opt_.faults->enabled())
+    kills = opt_.faults->kills;
+  std::size_t next_kill = 0;
+  std::vector<std::string> snaps;   // [shard] tree_io snapshot text
+  std::vector<Request> fault_tail;  // dispatched since the snapshots
+  auto snapshot_all = [&] {
+    if (next_kill >= kills.size()) return;
+    snaps.resize(static_cast<std::size_t>(S));
+    for (int s = 0; s < S; ++s)
+      snaps[static_cast<std::size_t>(s)] = net_.snapshot_shard(s);
+    fault_tail.clear();
+  };
+  auto fire_kill = [&](int shard, std::size_t disp) {
+    if (shard < 0 || shard >= S)
+      throw TreeError("FaultPlan: kill shard " + std::to_string(shard) +
+                      " out of range (S=" + std::to_string(S) + ")");
+    quiesce(disp);
+    const Clock::time_point t0 = Clock::now();
+    ++res.sim.faults_injected;
+    if (net_.has_replica(shard)) {
+      net_.promote_replica(shard);  // lockstep copy == lost state
+      ++res.sim.replica_promotions;
+    } else {
+      net_.restore_shard(shard, snaps[static_cast<std::size_t>(shard)]);
+      // Replay the killed shard's projection of the tail in dispatch
+      // order. At S = 1 under FIFO admission this is bit-identical to the
+      // lost state; at S > 1 it is dispatch-order-consistent (the racy
+      // mailbox interleaving that produced the lost state was never
+      // recorded). Costs land in the recovery counters, not the serve
+      // counters.
+      PartitionedTrace pt = partition_trace(fault_tail, net_.map());
+      std::vector<ShardOp>& ops = pt.ops[static_cast<std::size_t>(shard)];
+      KArySplayNet& sh = net_.shard(shard);
+      for (const ShardOp& op : ops) {
+        const ServeResult sr =
+            op.is_ascent() ? sh.access(op.src) : sh.serve(op.src, op.dst);
+        res.sim.recovery_cost +=
+            sr.routing_cost + static_cast<Cost>(sr.rotations);
+      }
+      res.sim.recovery_replayed += static_cast<Cost>(ops.size());
+    }
+    const double ms =
+        std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
+    res.sim.recovery_total_ms += ms;
+    res.sim.recovery_max_ms = std::max(res.sim.recovery_max_ms, ms);
+    ++next_kill;
+    snapshot_all();
+  };
+  snapshot_all();
+
   // The epoch barrier: drain the pipeline, measure, plan, apply. The
   // dispatcher keeps the arrival clock running, so this pause is charged
   // to every request that arrives during it.
@@ -336,6 +415,9 @@ FrontendResult ServeFrontend::run_stream(RequestStream& stream,
     const std::size_t got = stream.fill(chunk);
     if (got == 0) break;
     for (std::size_t i = 0; i < got; ++i) {
+      while (next_kill < kills.size() &&
+             kills[next_kill].at_request == dispatched)
+        fire_kill(kills[next_kill].shard, dispatched);
       // Pace to the arrival schedule: sleep for coarse gaps, spin out the
       // last stretch (sleep_until wakes late by scheduler quanta, which
       // would throttle multi-million-req/s schedules).
@@ -360,10 +442,15 @@ FrontendResult ServeFrontend::run_stream(RequestStream& stream,
       item.arrival_ns = due;
       inboxes[static_cast<std::size_t>(a)]->push_main(item);
       ++dispatched;
+      if (next_kill < kills.size()) fault_tail.push_back(r);
       if (adaptive) {
         state.observe(r, net_.map());
-        if (dispatched % epoch == 0 && dispatched < total)
+        if (dispatched % epoch == 0 && dispatched < total) {
           epoch_barrier(dispatched);
+          // Migrations may have rewritten the map: re-anchor the crash
+          // tail so a later replay never spans the barrier.
+          snapshot_all();
+        }
       }
     }
   }
@@ -383,6 +470,7 @@ FrontendResult ServeFrontend::run_stream(RequestStream& stream,
     res.sim.routing_cost += ws.routing;
     res.sim.rotation_count += ws.rotations;
     res.sim.edge_changes += ws.edges;
+    res.sim.replica_reads += ws.replica_reads;
     res.handovers += ws.handovers;
     res.forwards += ws.forwards;
     res.sim.reordered_requests += ws.reordered;
@@ -390,6 +478,7 @@ FrontendResult ServeFrontend::run_stream(RequestStream& stream,
     res.queue_wait.merge(ws.queue_wait);
   }
   res.sim.schedule = opt_.schedule.policy;
+  res.sim.final_shards = net_.num_shards();
   res.sim.cross_shard = static_cast<Cost>(cross_dispatched);
   net_.note_cross_served(static_cast<Cost>(cross_dispatched));
   res.achieved_rate =

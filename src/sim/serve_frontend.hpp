@@ -65,8 +65,25 @@ struct FrontendOptions {
   /// shards.
   std::size_t queue_capacity = 1024;
   /// Non-null + enabled() turns on online rebalancing epochs (see file
-  /// comment). Ignored when the network has a single shard.
+  /// comment). Ignored when the network has a single shard. Lifecycle
+  /// configs (split/merge watermarks, planned replicas) are rejected at
+  /// construction: the frontend's worker-per-shard topology is fixed for
+  /// a run, so fleets can only change shape in the batch pipeline.
+  /// Statically replicated shards (ShardedNetwork::add_replica before the
+  /// run) are fine — workers mirror into them and serve intra-shard
+  /// requests from them.
   const RebalanceConfig* rebalance = nullptr;
+  /// Non-null + enabled() injects scripted shard crashes (sim/fault.hpp):
+  /// each kill fires when the dispatch counter reaches its at_request.
+  /// The dispatcher quiesces the pipeline, then recovers the shard —
+  /// replica promotion when one exists, else a tree_io snapshot restore
+  /// plus a dispatch-order replay of the killed shard's ops since the
+  /// snapshot. At S = 1 under FIFO the rebuild is bit-identical to the
+  /// lost state; at S > 1 it is dispatch-order-consistent (the racy
+  /// mailbox interleaving that produced the lost state is not recorded).
+  /// Recovery wall time lands in SimResult::recovery_total_ms/_max_ms and
+  /// the pause is charged to arrivals like any other stall.
+  const FaultPlan* faults = nullptr;
   /// Serve order within each admitted batch (sim/schedule.hpp). FIFO keeps
   /// the inbox order (and hence the S = 1 bit-match with batch replay);
   /// kLocality reorders each batch by LCA cluster against the worker's own

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <iterator>
+#include <sstream>
 
+#include "io/tree_io.hpp"
 #include "static_trees/full_tree.hpp"
 
 namespace san {
@@ -19,14 +21,20 @@ ShardedNetwork::ShardedNetwork(int k, ShardMap map, RotationPolicy policy,
     shards_.push_back(
         KArySplayNet::balanced(k, map_.shard_size(s), policy, mode));
   }
+  replicas_.resize(static_cast<std::size_t>(S));
+  rebuild_top();
+}
 
+void ShardedNetwork::rebuild_top() {
   // The top-level tree is a demand-oblivious complete k-ary tree over the
   // S root slots (slot s = node s+1); it is consulted only through this
-  // precomputed distance table, so S = 1 simply leaves it all-zero.
+  // precomputed distance table, so S = 1 simply leaves it all-zero. Called
+  // again by split/merge whenever the fleet size changes.
+  const int S = map_.shards();
   top_dist_.assign(static_cast<std::size_t>(S) * static_cast<std::size_t>(S),
                    0);
   if (S > 1) {
-    const KAryTree top = full_kary_tree(k, S);
+    const KAryTree top = full_kary_tree(k_, S);
     for (int a = 0; a < S; ++a)
       for (int b = 0; b < S; ++b)
         if (a != b)
@@ -35,6 +43,12 @@ ShardedNetwork::ShardedNetwork(int k, ShardMap map, RotationPolicy policy,
               top.distance(static_cast<NodeId>(a + 1),
                            static_cast<NodeId>(b + 1));
   }
+}
+
+void ShardedNetwork::check_shard(int s, const char* what) const {
+  if (s < 0 || s >= map_.shards())
+    throw TreeError(std::string(what) + ": shard " + std::to_string(s) +
+                    " out of range (S=" + std::to_string(map_.shards()) + ")");
 }
 
 ShardedNetwork ShardedNetwork::balanced(int k, int n, int shards,
@@ -47,11 +61,26 @@ ShardedNetwork ShardedNetwork::balanced(int k, int n, int shards,
 ServeResult ShardedNetwork::serve(NodeId u, NodeId v) {
   const int a = map_.shard_of(u);
   const int b = map_.shard_of(v);
-  if (a == b) return shard(a).serve(map_.local_of(u), map_.local_of(v));
+  if (a == b) {
+    // Intra-shard ops are the read path: a replicated shard answers from
+    // its lockstep copy (bit-identical by construction) and mirrors the
+    // self-adjustment into the primary, charging the cost once.
+    if (KArySplayNet* rep = replica_mut(a)) {
+      const ServeResult r = rep->serve(map_.local_of(u), map_.local_of(v));
+      shard(a).serve(map_.local_of(u), map_.local_of(v));
+      ++replica_reads_;
+      return r;
+    }
+    return shard(a).serve(map_.local_of(u), map_.local_of(v));
+  }
 
   ++cross_served_;
+  // Root ascents are the write/splay path: primary-first, mirrored into
+  // the replica so the pair stays staleness-free.
   const ServeResult up = shard(a).access(map_.local_of(u));
+  if (KArySplayNet* rep = replica_mut(a)) rep->access(map_.local_of(u));
   const ServeResult down = shard(b).access(map_.local_of(v));
+  if (KArySplayNet* rep = replica_mut(b)) rep->access(map_.local_of(v));
   ServeResult res;
   res.routing_cost = up.routing_cost + top_distance(a, b) + down.routing_cost;
   res.rotations = up.rotations + down.rotations;
@@ -140,12 +169,17 @@ MigrationResult ShardedNetwork::apply_migrations(std::vector<Migration> batch) {
     if (affected[static_cast<std::size_t>(s)]) append_edges(s, before);
 
   // Phase 2 — remap and rebuild the affected shards balanced over their
-  // compacted local id spaces.
+  // compacted local id spaces. Replicas of affected shards are refreshed
+  // to the rebuilt primary so the lockstep invariant survives migrations.
   for (const Migration& m : batch) map_.migrate(m.node, m.to_shard);
   for (int s = 0; s < map_.shards(); ++s)
-    if (affected[static_cast<std::size_t>(s)])
+    if (affected[static_cast<std::size_t>(s)]) {
       shards_[static_cast<std::size_t>(s)] =
           KArySplayNet::balanced(k_, map_.shard_size(s), policy_, mode_);
+      if (replicas_[static_cast<std::size_t>(s)])
+        *replicas_[static_cast<std::size_t>(s)] =
+            shards_[static_cast<std::size_t>(s)];
+    }
 
   for (int s = 0; s < map_.shards(); ++s)
     if (affected[static_cast<std::size_t>(s)]) append_edges(s, after);
@@ -158,6 +192,142 @@ MigrationResult ShardedNetwork::apply_migrations(std::vector<Migration> batch) {
   res.relink_edges = static_cast<Cost>(diff.size());
   res.migrated = static_cast<int>(batch.size());
   return res;
+}
+
+namespace {
+
+/// Edge count of the static complete k-ary top tree over S slots.
+Cost top_edge_count(int S) { return S > 1 ? static_cast<Cost>(S - 1) : 0; }
+
+}  // namespace
+
+LifecycleResult ShardedNetwork::split_shard(int s) {
+  check_shard(s, "split_shard");
+  if (map_.shard_size(s) < 2)
+    throw TreeError("split_shard: shard " + std::to_string(s) +
+                    " needs >= 2 nodes to split");
+  LifecycleResult res;
+  const int s_old = map_.shards();
+  res.top_edges = top_edge_count(s_old);
+
+  std::vector<std::uint64_t> before, after;
+  append_edges(s, before);
+
+  const int fresh = map_.split(s);
+  shards_.push_back(
+      KArySplayNet::balanced(k_, map_.shard_size(fresh), policy_, mode_));
+  shards_[static_cast<std::size_t>(s)] =
+      KArySplayNet::balanced(k_, map_.shard_size(s), policy_, mode_);
+  // The old replica described the unsplit shard; drop it (the planner can
+  // re-replicate either half next epoch).
+  replicas_[static_cast<std::size_t>(s)].reset();
+  replicas_.push_back(nullptr);
+  rebuild_top();
+  res.top_edges += top_edge_count(map_.shards());
+
+  append_edges(s, after);
+  append_edges(fresh, after);
+  std::sort(before.begin(), before.end());
+  std::sort(after.begin(), after.end());
+  std::vector<std::uint64_t> diff;
+  std::set_symmetric_difference(before.begin(), before.end(), after.begin(),
+                                after.end(), std::back_inserter(diff));
+  res.relink_edges = static_cast<Cost>(diff.size());
+  res.shard = fresh;
+  return res;
+}
+
+LifecycleResult ShardedNetwork::merge_shards(int into, int from) {
+  check_shard(into, "merge_shards");
+  check_shard(from, "merge_shards");
+  if (into == from) throw TreeError("merge_shards: into == from");
+  LifecycleResult res;
+  res.top_edges = top_edge_count(map_.shards());
+
+  std::vector<std::uint64_t> before, after;
+  append_edges(into, before);
+  append_edges(from, before);
+
+  replicas_[static_cast<std::size_t>(into)].reset();
+  replicas_[static_cast<std::size_t>(from)].reset();
+  replicas_.erase(replicas_.begin() + from);
+  const int at = map_.merge(into, from);
+  shards_.erase(shards_.begin() + from);
+  shards_[static_cast<std::size_t>(at)] =
+      KArySplayNet::balanced(k_, map_.shard_size(at), policy_, mode_);
+  rebuild_top();
+  res.top_edges += top_edge_count(map_.shards());
+
+  append_edges(at, after);
+  std::sort(before.begin(), before.end());
+  std::sort(after.begin(), after.end());
+  std::vector<std::uint64_t> diff;
+  std::set_symmetric_difference(before.begin(), before.end(), after.begin(),
+                                after.end(), std::back_inserter(diff));
+  res.relink_edges = static_cast<Cost>(diff.size());
+  res.shard = at;
+  return res;
+}
+
+void ShardedNetwork::add_replica(int s) {
+  check_shard(s, "add_replica");
+  replicas_[static_cast<std::size_t>(s)] =
+      std::make_unique<KArySplayNet>(shards_[static_cast<std::size_t>(s)]);
+}
+
+void ShardedNetwork::drop_replica(int s) {
+  check_shard(s, "drop_replica");
+  replicas_[static_cast<std::size_t>(s)].reset();
+}
+
+int ShardedNetwork::num_replicas() const {
+  int count = 0;
+  for (const auto& r : replicas_)
+    if (r) ++count;
+  return count;
+}
+
+const KArySplayNet& ShardedNetwork::replica(int s) const {
+  check_shard(s, "replica");
+  if (!replicas_[static_cast<std::size_t>(s)])
+    throw TreeError("replica: shard " + std::to_string(s) +
+                    " is not replicated");
+  return *replicas_[static_cast<std::size_t>(s)];
+}
+
+std::string ShardedNetwork::snapshot_shard(int s) const {
+  check_shard(s, "snapshot_shard");
+  std::ostringstream out;
+  write_tree(out, shards_[static_cast<std::size_t>(s)].tree());
+  return out.str();
+}
+
+void ShardedNetwork::restore_shard(int s, const std::string& snap) {
+  check_shard(s, "restore_shard");
+  std::istringstream in(snap);
+  KAryTree tree = read_tree(in);  // hardened parse + topology validation
+  if (tree.arity() != k_)
+    throw TreeError("restore_shard: snapshot arity " +
+                    std::to_string(tree.arity()) + " != engine arity " +
+                    std::to_string(k_));
+  if (tree.size() != map_.shard_size(s))
+    throw TreeError("restore_shard: snapshot has " +
+                    std::to_string(tree.size()) + " nodes, shard " +
+                    std::to_string(s) + " owns " +
+                    std::to_string(map_.shard_size(s)));
+  shards_[static_cast<std::size_t>(s)] =
+      KArySplayNet(std::move(tree), policy_, mode_);
+  if (replicas_[static_cast<std::size_t>(s)])
+    *replicas_[static_cast<std::size_t>(s)] =
+        shards_[static_cast<std::size_t>(s)];
+}
+
+void ShardedNetwork::promote_replica(int s) {
+  check_shard(s, "promote_replica");
+  if (!replicas_[static_cast<std::size_t>(s)])
+    throw TreeError("promote_replica: shard " + std::to_string(s) +
+                    " is not replicated");
+  shards_[static_cast<std::size_t>(s)] = *replicas_[static_cast<std::size_t>(s)];
 }
 
 RebalanceCostHints ShardedNetwork::cost_hints() const {

@@ -24,6 +24,7 @@
 // to the sequential order.
 #pragma once
 
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -45,6 +46,23 @@ struct MigrationResult {
   Cost total_cost() const {
     return extraction_routing + extraction_rotations + relink_edges;
   }
+};
+
+/// Cost breakdown of one shard lifecycle operation (split or merge).
+struct LifecycleResult {
+  /// split: id of the freshly created shard; merge: id of the combined
+  /// shard after the slot compaction.
+  int shard = -1;
+  /// Edge symmetric difference (global-id terms) between the affected
+  /// shards' trees before and after the rebuild — same Section 2 link
+  /// pricing apply_migrations uses.
+  Cost relink_edges = 0;
+  /// Top-level tree re-slot cost: the fleet size changed, so the static
+  /// top tree is torn down and rebuilt over the new S slots; charged as
+  /// old edge count + new edge count (conservative full rewire).
+  Cost top_edges = 0;
+
+  Cost total_cost() const { return relink_edges + top_edges; }
 };
 
 class ShardedNetwork {
@@ -108,16 +126,83 @@ class ShardedNetwork {
   /// extraction plus a per-node relink share.
   RebalanceCostHints cost_hints() const;
 
+  // ---- tablet-style shard lifecycle -----------------------------------
+
+  /// Splits shard `s` at its local-rank midpoint: the upper half of its
+  /// nodes becomes a brand-new shard (id = old shards()), both halves are
+  /// rebuilt balanced over their compacted local id spaces, and the top
+  /// tree is re-slotted over S+1 positions. A replica of `s` is dropped
+  /// (its state described the unsplit shard). Throws TreeError when the
+  /// shard has fewer than 2 nodes.
+  LifecycleResult split_shard(int s);
+
+  /// Merges shard `from` into shard `into`: the combined shard rebuilds
+  /// balanced, `from`'s slot disappears (shard ids above it shift down),
+  /// and the top tree re-slots over S-1 positions. Replicas of both
+  /// operands are dropped; replicas of other shards keep following their
+  /// (re-numbered) primaries. Returns the combined shard's post-merge id.
+  LifecycleResult merge_shards(int into, int from);
+
+  // ---- read replicas --------------------------------------------------
+  // A replica is a lockstep state-machine copy of its primary: the drain
+  // paths mirror every op into it, so it is staleness-free by construction
+  // — intra-shard ops ("reads") are answered from the replica copy with
+  // bit-identical ServeResults, ascent ops ("writes"/splays) run
+  // primary-first, and costs are charged exactly once. A replicated shard
+  // also recovers from a crash by promotion instead of snapshot replay.
+
+  /// Attaches a replica to shard `s` (a copy of its current tree);
+  /// replaces any existing one.
+  void add_replica(int s);
+  void drop_replica(int s);
+  bool has_replica(int s) const {
+    return replicas_[static_cast<std::size_t>(s)] != nullptr;
+  }
+  int num_replicas() const;
+  const KArySplayNet& replica(int s) const;
+  /// Mutable replica pointer for the drain paths (null when the shard is
+  /// unreplicated). The owning drain worker is the only writer.
+  KArySplayNet* replica_mut(int s) {
+    return replicas_[static_cast<std::size_t>(s)].get();
+  }
+  /// Intra-shard ops answered from a replica by serve() (the drain
+  /// pipelines count their own into SimResult::replica_reads).
+  Cost replica_reads_served() const { return replica_reads_; }
+
+  // ---- crash recovery -------------------------------------------------
+
+  /// Serializes shard `s`'s current topology in san-tree v1 text format
+  /// (io/tree_io.hpp) — the snapshot a crash recovery restores from.
+  std::string snapshot_shard(int s) const;
+
+  /// Simulated crash recovery: replaces shard `s`'s (lost) tree with the
+  /// topology parsed from `snap`. The snapshot is validated (tree_io's
+  /// hardened loader) and must match the shard's arity and current node
+  /// count; a replica of `s` is refreshed to the restored state. The
+  /// caller replays the trace tail served since the snapshot to reach the
+  /// exact pre-crash state.
+  void restore_shard(int s, const std::string& snap);
+
+  /// Replica failover: primary becomes a copy of the lockstep replica
+  /// (which holds the exact pre-crash state). Throws when unreplicated.
+  void promote_replica(int s);
+
  private:
   void append_edges(int shard, std::vector<std::uint64_t>& out) const;
+  void rebuild_top();
+  void check_shard(int s, const char* what) const;
 
   int k_;
   ShardMap map_;
   RotationPolicy policy_;
   SplayMode mode_;
   std::vector<KArySplayNet> shards_;
+  /// [shard] -> lockstep replica, null when unreplicated. unique_ptr so
+  /// drain workers' replica pointers survive vector growth on split.
+  std::vector<std::unique_ptr<KArySplayNet>> replicas_;
   std::vector<Cost> top_dist_;  ///< S x S static route lengths, row-major
   Cost cross_served_ = 0;
+  Cost replica_reads_ = 0;
 };
 
 }  // namespace san

@@ -1,7 +1,9 @@
 #include "sim/simulator.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "core/parallel.hpp"
@@ -24,12 +26,28 @@ struct ShardDrain {
 /// cannot diverge. Under FIFO the queue is served untouched; kLocality
 /// reorders within windows of this shard's own queue (shards share
 /// nothing, so the sequential/concurrent bit-identity is preserved).
-ShardDrain drain_shard(KArySplayNet& shard, std::vector<ShardOp>& ops,
+///
+/// `replica` (null when the shard is unreplicated) is the shard's
+/// lockstep copy: intra ops are answered from it — bit-identical results,
+/// costs charged once, counted as replica reads — and every op is
+/// mirrored so primary and replica never diverge. Only this drain call
+/// touches the pair, so the share-nothing determinism argument is intact.
+ShardDrain drain_shard(KArySplayNet& shard, KArySplayNet* replica,
+                       std::vector<ShardOp>& ops,
                        const ScheduleConfig& sched) {
   ShardDrain res;
   const auto serve_one = [&](const ShardOp& op) {
-    const ServeResult s =
-        op.is_ascent() ? shard.access(op.src) : shard.serve(op.src, op.dst);
+    ServeResult s;
+    if (op.is_ascent()) {
+      s = shard.access(op.src);
+      if (replica != nullptr) replica->access(op.src);
+    } else if (replica != nullptr) {
+      s = replica->serve(op.src, op.dst);
+      shard.serve(op.src, op.dst);
+      ++res.sim.replica_reads;
+    } else {
+      s = shard.serve(op.src, op.dst);
+    }
     res.sim.routing_cost += s.routing_cost;
     res.sim.rotation_count += s.rotations;
     res.sim.edge_changes += s.edge_changes;
@@ -117,12 +135,14 @@ ChunkSplit drain_chunk(ShardedNetwork& net, std::span<const Request> chunk,
   std::vector<ShardDrain> partial(static_cast<std::size_t>(S));
   if (opt.sequential) {
     for (int s = 0; s < S; ++s)
-      partial[static_cast<std::size_t>(s)] = drain_shard(
-          net.shard(s), pt.ops[static_cast<std::size_t>(s)], opt.schedule);
+      partial[static_cast<std::size_t>(s)] =
+          drain_shard(net.shard(s), net.replica_mut(s),
+                      pt.ops[static_cast<std::size_t>(s)], opt.schedule);
   } else {
     parallel_for(0, S, opt.threads, [&](long s) {
       partial[static_cast<std::size_t>(s)] =
           drain_shard(net.shard(static_cast<int>(s)),
+                      net.replica_mut(static_cast<int>(s)),
                       pt.ops[static_cast<std::size_t>(s)], opt.schedule);
     });
   }
@@ -137,6 +157,7 @@ ChunkSplit drain_chunk(ShardedNetwork& net, std::span<const Request> chunk,
     res.rotation_count += p.sim.rotation_count;
     res.edge_changes += p.sim.edge_changes;
     res.reordered_requests += p.sim.reordered_requests;
+    res.replica_reads += p.sim.replica_reads;
     total += p.sim.routing_cost + p.sim.rotation_count;
     ascents += p.ascent_cost;
   }
@@ -179,6 +200,115 @@ std::size_t fill_exact(RequestStream& stream, std::span<Request> out) {
   return have;
 }
 
+/// Scripted crash machinery of the batch pipeline (sim/fault.hpp). While
+/// kills are pending, every shard is snapshotted (tree_io text form, in
+/// memory) at each *resume point* — chunk starts and post-recovery
+/// instants. Between two resume points the map is constant and each
+/// shard's ops form one contiguous drain, so a kill recovers bit-exactly:
+/// restore the snapshot, re-project the sub-chunk served since it, and
+/// replay the killed shard's queue under the same schedule. A replicated
+/// shard skips all that and fails over by promotion. Sub-chunk drains
+/// concatenate to the unsplit drain (additive counters, per-shard op
+/// order preserved), so sequential == concurrent still holds with faults
+/// active, and under FIFO the serve counters bit-match the unfaulted run.
+class FaultInjector {
+ public:
+  FaultInjector(ShardedNetwork& net, const ShardedRunOptions& opt,
+                SimResult& res)
+      : net_(net), opt_(opt), res_(res) {
+    if (opt.faults != nullptr && opt.faults->enabled()) {
+      opt.faults->validate();
+      kills_ = opt.faults->kills;
+    }
+  }
+
+  bool pending() const { return next_ < kills_.size(); }
+
+  /// Snapshots the whole fleet at a resume point. Cheap no-op once every
+  /// scripted kill has fired.
+  void snapshot_all() {
+    if (!pending()) return;
+    const int S = net_.num_shards();
+    snaps_.resize(static_cast<std::size_t>(S));
+    for (int s = 0; s < S; ++s)
+      snaps_[static_cast<std::size_t>(s)] = net_.snapshot_shard(s);
+  }
+
+  /// Drains one chunk, splitting it at the scripted kill indices.
+  /// `served_before` is the global request index of chunk[0].
+  ChunkSplit drain(std::span<const Request> chunk,
+                   std::size_t served_before) {
+    ChunkSplit total;
+    std::size_t done = 0;
+    while (pending()) {
+      const std::size_t at = kills_[next_].at_request;
+      if (at < served_before + done)
+        throw TreeError("FaultPlan: kill at request " + std::to_string(at) +
+                        " is already in the past (script must be sorted)");
+      if (at > served_before + chunk.size()) break;  // fires in a later chunk
+      const std::size_t rel = at - served_before;
+      const std::span<const Request> tail = chunk.subspan(done, rel - done);
+      if (!tail.empty()) accumulate(total, drain_chunk(net_, tail, opt_, res_));
+      crash_recover(kills_[next_].shard, tail);
+      ++next_;
+      snapshot_all();
+      done = rel;
+    }
+    if (done < chunk.size())
+      accumulate(total, drain_chunk(net_, chunk.subspan(done), opt_, res_));
+    return total;
+  }
+
+ private:
+  static void accumulate(ChunkSplit& into, const ChunkSplit& part) {
+    into.cross_cost += part.cross_cost;
+    into.intra_cost += part.intra_cost;
+    into.cross_requests += part.cross_requests;
+    into.intra_requests += part.intra_requests;
+  }
+
+  void crash_recover(int shard, std::span<const Request> tail) {
+    if (shard < 0 || shard >= net_.num_shards())
+      throw TreeError("FaultPlan: kill shard " + std::to_string(shard) +
+                      " out of range (live S=" +
+                      std::to_string(net_.num_shards()) + ")");
+    const auto t0 = std::chrono::steady_clock::now();
+    ++res_.faults_injected;
+    if (net_.has_replica(shard)) {
+      // Failover: the lockstep replica holds the exact pre-crash state.
+      net_.promote_replica(shard);
+      ++res_.replica_promotions;
+    } else {
+      net_.restore_shard(shard, snaps_[static_cast<std::size_t>(shard)]);
+      // Replay the killed shard's queue of the tail served since the
+      // snapshot, under the run's own schedule — same queue, same initial
+      // tree, hence the same permutation and the same final state the
+      // shard held when it died. Costs go to the recovery counters, not
+      // the serve counters.
+      PartitionedTrace pt = partition_trace(tail, net_.map());
+      std::vector<ShardOp>& ops = pt.ops[static_cast<std::size_t>(shard)];
+      const ShardDrain replay =
+          drain_shard(net_.shard(shard), nullptr, ops, opt_.schedule);
+      res_.recovery_replayed += static_cast<Cost>(ops.size());
+      res_.recovery_cost +=
+          replay.sim.routing_cost + replay.sim.rotation_count;
+    }
+    const double ms =
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - t0)
+            .count();
+    res_.recovery_total_ms += ms;
+    res_.recovery_max_ms = std::max(res_.recovery_max_ms, ms);
+  }
+
+  ShardedNetwork& net_;
+  const ShardedRunOptions& opt_;
+  SimResult& res_;
+  std::vector<FaultEvent> kills_;
+  std::size_t next_ = 0;
+  std::vector<std::string> snaps_;  ///< [shard] tree_io snapshot text
+};
+
 }  // namespace
 
 SimResult run_trace_sharded_stream(ShardedNetwork& net, RequestStream& stream,
@@ -188,8 +318,14 @@ SimResult run_trace_sharded_stream(ShardedNetwork& net, RequestStream& stream,
   res.schedule = opt.schedule.policy;
   const std::size_t total = stream.size();
 
-  const bool adaptive = opt.rebalance != nullptr && opt.rebalance->enabled() &&
-                        net.num_shards() > 1;
+  FaultInjector injector(net, opt, res);
+  // Migration planning needs S > 1 to have anywhere to move nodes;
+  // lifecycle planning creates and destroys shards, so it runs (from its
+  // own epoch barrier) even on a single-shard fleet.
+  const bool adaptive =
+      opt.rebalance != nullptr &&
+      ((opt.rebalance->enabled() && net.num_shards() > 1) ||
+       opt.rebalance->lifecycle_enabled());
   if (!adaptive) {
     // Chunking is cost-invariant (additive counters, per-shard order
     // preserved across boundaries), so the static path streams in fixed
@@ -199,7 +335,8 @@ SimResult run_trace_sharded_stream(ShardedNetwork& net, RequestStream& stream,
     while (true) {
       const std::size_t got = fill_exact(stream, buf);
       if (got == 0) break;
-      drain_chunk(net, std::span<const Request>(buf.data(), got), opt, res);
+      injector.snapshot_all();
+      injector.drain(std::span<const Request>(buf.data(), got), res.requests);
       res.requests += got;
     }
   } else {
@@ -218,7 +355,8 @@ SimResult run_trace_sharded_stream(ShardedNetwork& net, RequestStream& stream,
       const std::size_t got = fill_exact(stream, buf);
       if (got == 0) break;
       const std::span<const Request> chunk(buf.data(), got);
-      const ChunkSplit split = drain_chunk(net, chunk, opt, res);
+      injector.snapshot_all();
+      const ChunkSplit split = injector.drain(chunk, res.requests);
       res.requests += got;
       if (res.requests >= total || got < epoch) break;
       // Aged at the same rate as the pair window, so the cost measurement
@@ -247,15 +385,48 @@ SimResult run_trace_sharded_stream(ShardedNetwork& net, RequestStream& stream,
       }
 
       RebalancePlan plan = state.epoch(net.map(), hints);
-      if (!plan.triggered) continue;
-      ++res.rebalance_epochs;
-      if (plan.migrations.empty()) continue;
-      const MigrationResult applied =
-          net.apply_migrations(std::move(plan.migrations));
-      res.migrations += applied.migrated;
-      res.migration_cost += applied.total_cost();
+      if (plan.triggered) {
+        ++res.rebalance_epochs;
+        if (!plan.migrations.empty()) {
+          const MigrationResult applied =
+              net.apply_migrations(std::move(plan.migrations));
+          res.migrations += applied.migrated;
+          res.migration_cost += applied.total_cost();
+        }
+      }
+      // Lifecycle barrier. Plan ids refer to the pre-lifecycle map, so
+      // replicas are reconciled first; the split/merge (which renumbers
+      // shards and drops their replicas) applies last. The next chunk top
+      // re-snapshots, so pending kills never replay across this barrier.
+      if (opt.rebalance->replicas > 0) {
+        for (int s = 0; s < net.num_shards(); ++s) {
+          const bool want = std::binary_search(plan.replicate.begin(),
+                                               plan.replicate.end(), s);
+          if (want && !net.has_replica(s))
+            net.add_replica(s);
+          else if (!want && net.has_replica(s))
+            net.drop_replica(s);
+        }
+      }
+      // Migrations applied above may have reshaped the very shard the plan
+      // targets (watermark migration and split watch the same hot shard),
+      // so the split precondition is re-checked against the live map —
+      // deterministically: the barrier state is identical across drain
+      // modes.
+      if (plan.split_shard >= 0 &&
+          net.map().shard_size(plan.split_shard) >= 2) {
+        const LifecycleResult lr = net.split_shard(plan.split_shard);
+        ++res.shard_splits;
+        res.lifecycle_cost += lr.total_cost();
+      } else if (plan.merge_from >= 0) {
+        const LifecycleResult lr =
+            net.merge_shards(plan.merge_into, plan.merge_from);
+        ++res.shard_merges;
+        res.lifecycle_cost += lr.total_cost();
+      }
     }
   }
+  res.final_shards = net.num_shards();
 
   // Dispatch-time intra fraction from the drain counters. When nodes
   // migrated this reflects the maps requests were actually served under;
@@ -274,8 +445,10 @@ SimResult run_trace_sharded(ShardedNetwork& net, const Trace& trace,
   TraceStream stream(trace);
   SimResult res = run_trace_sharded_stream(net, stream, opt);
   // With an unchanged map the final intra fraction is already in the drain
-  // counters; only an actually-migrated map needs the full-trace re-scan.
-  if (res.migrations != 0)
+  // counters; only an actually-changed map (migrations, or a lifecycle
+  // split/merge, which rewrites shard ids wholesale) needs the full-trace
+  // re-scan against the live shard count.
+  if (res.migrations != 0 || res.shard_splits != 0 || res.shard_merges != 0)
     res.post_intra_fraction =
         compute_shard_stats(trace, net.map()).intra_fraction();
   return res;

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "sim/any_network.hpp"
+#include "sim/fault.hpp"
 #include "sim/schedule.hpp"
 #include "workload/request.hpp"
 #include "workload/streaming.hpp"
@@ -62,6 +63,26 @@ struct SimResult {
   /// run_trace_sharded in both static and adaptive modes).
   double post_intra_fraction = 0.0;
 
+  // Shard lifecycle accounting (always 0 unless a sharded run planned
+  // splits/merges/replicas through RebalanceConfig's lifecycle knobs).
+  // Like migration_cost, lifecycle_cost stays out of the serve counters.
+  Cost shard_splits = 0;    ///< shard splits applied at barriers
+  Cost shard_merges = 0;    ///< shard merges applied at barriers
+  Cost lifecycle_cost = 0;  ///< relink + top-tree rewire edges of those
+  Cost replica_reads = 0;   ///< intra-shard ops answered from a replica
+  int final_shards = 0;     ///< live shard count when the run ended (0 for
+                            ///< unsharded networks)
+
+  // Fault-injection accounting (always 0 without a FaultPlan). Recovery
+  // replay cost is kept out of the serve counters so a faulted run's
+  // golden serve costs bit-match the unfaulted run's (FIFO schedule).
+  Cost faults_injected = 0;      ///< scripted shard kills that fired
+  Cost replica_promotions = 0;   ///< recoveries served by replica failover
+  Cost recovery_replayed = 0;    ///< tail ops replayed into rebuilt shards
+  Cost recovery_cost = 0;        ///< routing + rotations of that replay
+  double recovery_total_ms = 0.0;  ///< wall-clock spent recovering, summed
+  double recovery_max_ms = 0.0;    ///< slowest single recovery (SLO check)
+
   /// Sojourn-time summary when the result came from the open-loop serving
   /// frontend; latency.measured stays false for closed-loop replay.
   LatencyStats latency;
@@ -75,8 +96,11 @@ struct SimResult {
 
   /// Experimental-section total: unit routing + unit rotation cost.
   Cost total_cost() const { return routing_cost + rotation_count; }
-  /// Serving total plus what the rebalancer spent moving nodes.
-  Cost grand_total_cost() const { return total_cost() + migration_cost; }
+  /// Serving total plus everything spent reshaping and recovering the
+  /// fleet: migrations, splits/merges, and crash-recovery replay.
+  Cost grand_total_cost() const {
+    return total_cost() + migration_cost + lifecycle_cost + recovery_cost;
+  }
   /// Section 2 model total: routing + links added/removed.
   Cost model_cost() const { return routing_cost + edge_changes; }
   double avg_request_cost() const {
@@ -232,6 +256,14 @@ struct ShardedRunOptions {
   /// bit-identity guarantee is preserved: shards share nothing and each
   /// shard's scheduled order is deterministic.
   ScheduleConfig schedule{};
+  /// Non-null + enabled() injects scripted shard kills (sim/fault.hpp):
+  /// the drain splits its chunks at the kill indices, snapshots every
+  /// shard (tree_io) at each resume point while kills are pending, and
+  /// recovers a killed shard by replica promotion or snapshot restore +
+  /// trace-tail replay. Deterministic and mode-independent; under the
+  /// FIFO schedule the serve counters bit-match the unfaulted run
+  /// (locality windows legitimately re-seat at the crash boundary).
+  const FaultPlan* faults = nullptr;
 };
 
 /// Batched sharded pipeline: partitions `trace` into per-shard op queues

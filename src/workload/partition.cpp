@@ -1,6 +1,7 @@
 #include "workload/partition.hpp"
 
 #include <algorithm>
+#include <iterator>
 #include <string>
 
 #include "core/rng.hpp"
@@ -115,6 +116,65 @@ void ShardMap::migrate(NodeId id, int to_shard) {
 
   shard_of_[static_cast<std::size_t>(id)] = to_shard;
   local_of_[static_cast<std::size_t>(id)] = static_cast<NodeId>(rank + 1);
+}
+
+int ShardMap::split(int shard) {
+  if (shard < 0 || shard >= shards_)
+    throw TreeError("ShardMap::split: shard " + std::to_string(shard) +
+                    " out of range");
+  std::vector<NodeId>& src = globals_[static_cast<std::size_t>(shard)];
+  if (src.size() < 2)
+    throw TreeError("ShardMap::split: shard " + std::to_string(shard) +
+                    " needs >= 2 nodes to split");
+
+  // The staying half keeps the lower ranks, so its locals are already
+  // dense 1..keep; only the moved half needs remapping. The moved list is
+  // detached *before* the outer push_back — growing globals_ invalidates
+  // the src reference.
+  const std::size_t keep = (src.size() + 1) / 2;
+  const int fresh = shards_;
+  std::vector<NodeId> moved_half(src.begin() + static_cast<std::ptrdiff_t>(keep),
+                                 src.end());
+  src.resize(keep);
+  globals_.push_back(std::move(moved_half));
+  ++shards_;
+  const std::vector<NodeId>& moved =
+      globals_[static_cast<std::size_t>(fresh)];
+  for (std::size_t i = 0; i < moved.size(); ++i) {
+    shard_of_[static_cast<std::size_t>(moved[i])] = fresh;
+    local_of_[static_cast<std::size_t>(moved[i])] =
+        static_cast<NodeId>(i + 1);
+  }
+  return fresh;
+}
+
+int ShardMap::merge(int into, int from) {
+  if (into < 0 || into >= shards_ || from < 0 || from >= shards_)
+    throw TreeError("ShardMap::merge: shard id out of range");
+  if (into == from) throw TreeError("ShardMap::merge: into == from");
+
+  std::vector<NodeId>& a = globals_[static_cast<std::size_t>(into)];
+  std::vector<NodeId>& b = globals_[static_cast<std::size_t>(from)];
+  std::vector<NodeId> combined;
+  combined.reserve(a.size() + b.size());
+  std::merge(a.begin(), a.end(), b.begin(), b.end(),
+             std::back_inserter(combined));
+  a = std::move(combined);
+  globals_.erase(globals_.begin() + from);
+  --shards_;
+
+  // Everything at or after the first changed slot needs its shard ids and
+  // locals rewritten: the combined shard's locals recompacted, and every
+  // shard that slid down one slot re-labelled.
+  const int at = into > from ? into - 1 : into;
+  for (int s = std::min(into, from); s < shards_; ++s) {
+    const std::vector<NodeId>& g = globals_[static_cast<std::size_t>(s)];
+    for (std::size_t i = 0; i < g.size(); ++i) {
+      shard_of_[static_cast<std::size_t>(g[i])] = s;
+      local_of_[static_cast<std::size_t>(g[i])] = static_cast<NodeId>(i + 1);
+    }
+  }
+  return at;
 }
 
 PartitionedTrace partition_trace(const Trace& trace, const ShardMap& map) {

@@ -75,6 +75,20 @@ class ShardMap {
   /// local ids in ascending global order. O(|source| + |destination|).
   void migrate(NodeId id, int to_shard);
 
+  /// Tablet-style shard split: the upper floor(size/2) local ranks of
+  /// `shard` move to a brand-new shard appended with id shards(); the
+  /// lower ceil(size/2) ranks stay. Both halves keep dense rank-ordered
+  /// locals (the staying half's locals are untouched). Returns the new
+  /// shard's id. Requires shard_size(shard) >= 2. O(|shard|).
+  int split(int shard);
+
+  /// Tablet-style shard merge: folds shard `from` into shard `into`
+  /// (their rank-ordered global lists are merged, locals recompact) and
+  /// removes `from`'s slot, so every shard id above `from` shifts down by
+  /// one. Returns the post-merge id of the combined shard (`into`,
+  /// shifted down when into > from). Requires into != from. O(n).
+  int merge(int into, int from);
+
   int n() const { return n_; }
   int shards() const { return shards_; }
   ShardPartition policy() const { return policy_; }
@@ -163,6 +177,10 @@ struct ShardLocalityStats {
   double load_imbalance() const;
 };
 
+/// Every per-shard array is sized from the map's *live* shard count at
+/// call time — never a construction-time S — so the stats stay correct
+/// after mid-run split/merge reshaped the fleet (locked by
+/// Lifecycle.ShardStatsStayLiveAfterSplitMerge).
 ShardLocalityStats compute_shard_stats(const Trace& trace,
                                        const ShardMap& map);
 

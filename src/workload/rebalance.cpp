@@ -51,6 +51,12 @@ RebalanceState::RebalanceState(RebalanceConfig cfg) : cfg_(cfg) {
     throw TreeError("RebalanceState: window_decay must be in [0, 1)");
   if (cfg_.max_migrations < 0)
     throw TreeError("RebalanceState: max_migrations must be >= 0");
+  if (cfg_.split_watermark < 0.0 || cfg_.merge_watermark < 0.0)
+    throw TreeError("RebalanceState: lifecycle watermarks must be >= 0");
+  if (cfg_.replicas < 0)
+    throw TreeError("RebalanceState: replicas must be >= 0");
+  if (cfg_.max_shards < 1 || cfg_.min_shards < 1)
+    throw TreeError("RebalanceState: shard-count bounds must be >= 1");
   if (cfg_.tracker == DemandTracker::kSketch) {
     if (cfg_.sketch_top_k < 1)
       throw TreeError("RebalanceState: sketch_top_k must be >= 1");
@@ -222,8 +228,97 @@ RebalancePlan RebalanceState::epoch(const ShardMap& map,
       plan_watermark(map, resolved, entries, touches, plan);
   }
 
+  // Lifecycle decisions fire on every epoch regardless of the migration
+  // trigger: a fleet-shape change answers sustained load skew, which the
+  // drift detector deliberately ignores.
+  if (cfg_.lifecycle_enabled()) plan_lifecycle(map, entries, touches, plan);
+
   decay();
   return plan;
+}
+
+void RebalanceState::plan_lifecycle(const ShardMap& map,
+                                    const std::vector<PairEntry>& entries,
+                                    const std::vector<double>& touches,
+                                    RebalancePlan& plan) const {
+  // Per-shard window load over node-owning shards, plus the two coldest
+  // and the hottest — all tie-broken toward the smaller id so the plan is
+  // a pure function of the window.
+  double max = 0.0, sum = 0.0;
+  int active = 0, hottest = -1;
+  int cold1 = -1, cold2 = -1;  // coldest and second-coldest
+  for (int s = 0; s < map.shards(); ++s) {
+    if (map.shard_size(s) == 0) continue;
+    ++active;
+    const double w = touches[static_cast<std::size_t>(s)];
+    sum += w;
+    if (hottest < 0 || w > max) {
+      max = w;
+      hottest = s;
+    }
+    if (cold1 < 0 || w < touches[static_cast<std::size_t>(cold1)]) {
+      cold2 = cold1;
+      cold1 = s;
+    } else if (cold2 < 0 || w < touches[static_cast<std::size_t>(cold2)]) {
+      cold2 = s;
+    }
+  }
+  if (active < 1 || sum == 0.0) return;  // empty window: nothing to react to
+  const double mean = sum / active;
+
+  // Replica set: the cfg_.replicas shards with the heaviest *intra*-shard
+  // window weight (both endpoints inside), weight > 0, ties to the
+  // smaller id. Ids refer to the pre-lifecycle map; the runner reconciles
+  // replicas before applying any split/merge of the same barrier.
+  if (cfg_.replicas > 0) {
+    std::vector<double> intra_w(static_cast<std::size_t>(map.shards()), 0.0);
+    for (const PairEntry& e : entries) {
+      const int su = map.shard_of(e.u);
+      if (su == map.shard_of(e.v)) intra_w[static_cast<std::size_t>(su)] += e.weight;
+    }
+    std::vector<int> order;
+    for (int s = 0; s < map.shards(); ++s)
+      if (intra_w[static_cast<std::size_t>(s)] > 0.0) order.push_back(s);
+    std::sort(order.begin(), order.end(), [&](int a, int b) {
+      const double wa = intra_w[static_cast<std::size_t>(a)];
+      const double wb = intra_w[static_cast<std::size_t>(b)];
+      if (wa != wb) return wa > wb;
+      return a < b;
+    });
+    order.resize(std::min(order.size(),
+                          static_cast<std::size_t>(cfg_.replicas)));
+    std::sort(order.begin(), order.end());
+    plan.replicate = std::move(order);
+  }
+
+  // Split the hottest shard when it carries more than split_watermark x
+  // the mean load. >= 4 nodes so both halves can later merge or shed
+  // nodes without tripping the never-drain guards.
+  if (cfg_.split_watermark > 0.0 && map.shards() < cfg_.max_shards &&
+      hottest >= 0 && max > cfg_.split_watermark * mean &&
+      map.shard_size(hottest) >= 4) {
+    plan.split_shard = hottest;
+    return;  // never split and merge at the same barrier
+  }
+
+  // Merge the two coldest shards when their combined load is below
+  // merge_watermark x the mean and the combined shard fits the capacity
+  // guard of the shrunken fleet.
+  if (cfg_.merge_watermark > 0.0 && active > 1 &&
+      map.shards() > std::max(cfg_.min_shards, 1) && cold1 >= 0 &&
+      cold2 >= 0) {
+    const double combined = touches[static_cast<std::size_t>(cold1)] +
+                            touches[static_cast<std::size_t>(cold2)];
+    const int merged_nodes = map.shard_size(cold1) + map.shard_size(cold2);
+    const double post_even = static_cast<double>(map.n()) /
+                             static_cast<double>(map.shards() - 1);
+    if (combined < cfg_.merge_watermark * mean &&
+        static_cast<double>(merged_nodes) <=
+            cfg_.capacity_factor * post_even) {
+      plan.merge_into = std::min(cold1, cold2);
+      plan.merge_from = std::max(cold1, cold2);
+    }
+  }
 }
 
 namespace {

@@ -132,8 +132,40 @@ struct RebalanceConfig {
   std::size_t sketch_cm_width = 1 << 16;
   int sketch_cm_depth = 4;
 
+  // ---- tablet-style shard lifecycle (split / merge / replicate) -------
+  // Lifecycle planning rides on the same per-shard window loads the
+  // watermark migration policy measures, but is evaluated at *every*
+  // epoch, independent of `trigger` and `policy` — a load spike needs a
+  // systemic answer even when the hot-pair set is stationary. Plans are
+  // applied by the batch pipeline at its drain barrier
+  // (sim/simulator.hpp); the open-loop frontend rejects them (its
+  // worker-per-shard topology is fixed for a run).
+
+  /// > 0 enables shard splitting: when the hottest shard's window load
+  /// exceeds split_watermark x the active-shard mean (and it owns >= 4
+  /// nodes, and the fleet is below max_shards), plan a midpoint split.
+  double split_watermark = 0.0;
+  /// > 0 enables shard merging: when the two coldest shards' combined
+  /// window load is below merge_watermark x the active-shard mean (and
+  /// the fleet is above min_shards, and the combined shard respects the
+  /// capacity guard), plan their merge. A split and a merge never fire in
+  /// the same epoch (split wins — relieving the hot shard comes first).
+  double merge_watermark = 0.0;
+  int max_shards = 256;  ///< split ceiling on the fleet size
+  int min_shards = 1;    ///< merge floor on the fleet size
+  /// > 0 enables read replicas: the `replicas` shards with the heaviest
+  /// *intra*-shard window weight (ties to the smaller id) are kept
+  /// replicated; the runner reconciles adds/drops at each barrier.
+  int replicas = 0;
+
   bool enabled() const {
     return policy != RebalancePolicy::kNone && epoch_requests > 0;
+  }
+  /// Any lifecycle planning configured? (Planning then runs every epoch
+  /// even under policy == kNone, which disables only node migrations.)
+  bool lifecycle_enabled() const {
+    return epoch_requests > 0 &&
+           (split_watermark > 0.0 || merge_watermark > 0.0 || replicas > 0);
   }
 };
 
@@ -158,6 +190,19 @@ struct RebalancePlan {
   /// 0.0 while the history is empty: the first window only seeds the
   /// detector (an initial partition is configuration, not drift).
   double drift = 0.0;
+
+  // Lifecycle actions (planned whenever cfg.lifecycle_enabled(),
+  // independent of `triggered`, which gates only node migrations).
+  int split_shard = -1;  ///< shard to split at its rank midpoint, or -1
+  int merge_into = -1;   ///< merge target (the smaller id), or -1
+  int merge_from = -1;   ///< shard folded into merge_into, or -1
+  /// Desired replicated-shard set (sorted ascending; ids refer to the map
+  /// the plan was made against, before any split/merge of this barrier).
+  std::vector<int> replicate;
+
+  bool has_lifecycle() const {
+    return split_shard >= 0 || merge_from >= 0 || !replicate.empty();
+  }
 };
 
 class RebalanceState {
@@ -193,6 +238,12 @@ class RebalanceState {
   /// `touches` is the per-shard window load epoch() measured (one endpoint
   /// touch per pair per shard), reused as the evolving load model.
   void plan_watermark(const ShardMap& map, const RebalanceCostHints& hints,
+                      const std::vector<PairEntry>& entries,
+                      const std::vector<double>& touches,
+                      RebalancePlan& plan) const;
+  /// Split/merge/replicate planning from the same window `touches` load
+  /// model; see the lifecycle fields of RebalanceConfig.
+  void plan_lifecycle(const ShardMap& map,
                       const std::vector<PairEntry>& entries,
                       const std::vector<double>& touches,
                       RebalancePlan& plan) const;

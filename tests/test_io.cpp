@@ -124,6 +124,68 @@ TEST(TreeIo, RejectsBadHeader) {
   EXPECT_THROW(read_tree(buf), TreeError);
 }
 
+TEST(TreeIo, RejectsHostileHeaderClaims) {
+  // Every header field is bounded before any allocation happens on its
+  // word: a snapshot restore feeds these bytes straight into read_tree, so
+  // a corrupt or hostile file must fail with a TreeError, never an OOM or
+  // a bad_alloc from a forged size.
+  const char* hostile[] = {
+      "san-tree v1 1 4 1\n",                    // arity below 2
+      "san-tree v1 -3 4 1\n",                   // negative arity
+      "san-tree v1 99999999 4 1\n",             // arity bomb
+      "san-tree v1 2 -1 1\n",                   // negative node count
+      "san-tree v1 2 999999999999 1\n",         // node-count bomb
+      "san-tree v1 2 4 0\n",                    // root below range
+      "san-tree v1 2 4 5\n",                    // root above range
+      "san-tree v1 2 0 1\n",                    // empty tree must have no root
+  };
+  for (const char* bytes : hostile) {
+    std::stringstream buf(bytes);
+    EXPECT_THROW(read_tree(buf), TreeError) << "accepted: " << bytes;
+  }
+}
+
+TEST(TreeIo, RejectsForgedNodeRecords) {
+  // Node id out of range.
+  {
+    std::stringstream buf("san-tree v1 2 1 1\n9 min max 0 0 0\n");
+    EXPECT_THROW(read_tree(buf), TreeError);
+  }
+  // Duplicate node id: the second record for node 1 must be rejected
+  // instead of silently overwriting the first.
+  {
+    std::stringstream buf(
+        "san-tree v1 2 2 1\n"
+        "1 min max 1 2097152 2 0\n"
+        "1 min max 0 0 0\n");
+    EXPECT_THROW(read_tree(buf), TreeError);
+  }
+  // Forged key count: a node may route over at most arity-1 keys, and the
+  // claim is checked before the key vector is allocated.
+  {
+    std::stringstream buf("san-tree v1 2 1 1\n1 min max 777777777 0 0\n");
+    EXPECT_THROW(read_tree(buf), TreeError);
+  }
+  // Malformed routing key bytes surface as TreeError, not std::stoll's
+  // invalid_argument.
+  {
+    std::stringstream buf("san-tree v1 2 1 1\n1 min max 0 0\n");
+    std::stringstream bad("san-tree v1 2 1 1\n1 min garbage 0 0\n");
+    EXPECT_NO_THROW(read_tree(buf));
+    EXPECT_THROW(read_tree(bad), TreeError);
+  }
+  // Child id out of range.
+  {
+    std::stringstream buf("san-tree v1 2 1 1\n1 min max 0 7\n");
+    EXPECT_THROW(read_tree(buf), TreeError);
+  }
+  // Truncated mid-record.
+  {
+    std::stringstream buf("san-tree v1 2 2 1\n1 min max 1 2097152\n");
+    EXPECT_THROW(read_tree(buf), TreeError);
+  }
+}
+
 TEST(TreeIo, DotExportMentionsEveryNodeAndEdge) {
   KAryTree t = build_from_shape(3, make_complete_shape(13, 3));
   const std::string dot = to_dot(t, "g");

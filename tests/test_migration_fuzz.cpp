@@ -171,5 +171,71 @@ TEST(MigrationFuzz, ShardsStayValidUnderInterleavedServesAndMigrations) {
   }
 }
 
+TEST(MigrationFuzz, LifecycleStormKeepsFleetConsistent) {
+  // Random interleaved split / merge / kill+recover / replica bursts over
+  // live serve traffic: after every burst the ShardMap must still be a
+  // bijection, every shard tree must validate clean, and the fleet must
+  // own exactly n nodes. Kills alternate between snapshot-restore and
+  // replica promotion so both recovery paths are fuzzed.
+  for (std::uint64_t seed : {7u, 271u, 31337u}) {
+    std::mt19937_64 rng(seed);
+    const int n = 96, k = 3;
+    ShardedNetwork net = ShardedNetwork::balanced(k, n, 4,
+                                                  ShardPartition::kHash);
+    const Trace traffic = gen_workload(WorkloadKind::kTemporal075, n, 8000,
+                                       seed * 17 + 3);
+    std::size_t cursor = 0;
+    for (int round = 0; round < 20; ++round) {
+      for (int i = 0; i < 300 && cursor < traffic.size(); ++i, ++cursor)
+        net.serve(traffic[cursor].src, traffic[cursor].dst);
+
+      const int S = net.num_shards();
+      switch (rng() % 4) {
+        case 0: {  // split a random splittable shard
+          const int s = static_cast<int>(rng() % S);
+          if (net.map().shard_size(s) >= 2) net.split_shard(s);
+          break;
+        }
+        case 1: {  // merge two random distinct shards
+          if (S >= 2) {
+            const int a = static_cast<int>(rng() % S);
+            int b = static_cast<int>(rng() % S);
+            if (a == b) b = (b + 1) % S;
+            net.merge_shards(a, b);
+          }
+          break;
+        }
+        case 2: {  // kill + snapshot-restore a random shard
+          const int s = static_cast<int>(rng() % S);
+          const std::string snap = net.snapshot_shard(s);
+          net.restore_shard(s, snap);
+          break;
+        }
+        default: {  // replica attach, kill, promote
+          const int s = static_cast<int>(rng() % S);
+          if (!net.has_replica(s)) net.add_replica(s);
+          net.promote_replica(s);
+          break;
+        }
+      }
+
+      int total = 0;
+      for (int s = 0; s < net.num_shards(); ++s) {
+        const auto err = net.shard(s).tree().validate();
+        ASSERT_FALSE(err.has_value())
+            << "seed=" << seed << " round=" << round << " shard " << s
+            << ": " << *err;
+        ASSERT_EQ(net.shard(s).size(), net.map().shard_size(s));
+        total += net.shard(s).size();
+      }
+      ASSERT_EQ(total, n) << "seed=" << seed << " round=" << round;
+      check_bijection(net.map(),
+                      "lifecycle seed=" + std::to_string(seed) +
+                          " round=" + std::to_string(round));
+    }
+    ASSERT_LT(cursor, traffic.size() + 1);  // traffic actually flowed
+  }
+}
+
 }  // namespace
 }  // namespace san
