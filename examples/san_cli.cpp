@@ -75,9 +75,14 @@ struct Options {
   std::size_t epoch = 5000;
   double split_watermark = 0.0;  // > 0 enables watermark-triggered splits
   double merge_watermark = 0.0;  // > 0 enables cold-shard merges
-  int replicas = 0;              // planned read replicas (batch pipeline)
-  std::string fault;             // kill script "IDX@SHARD[,IDX@SHARD...]"
+  int replicas = 0;              // planned read replicas
+  std::string fault;         // fault script "[KIND:]IDX@SHARD[,...]"
+  bool chaos = false;        // --chaos-seed given: generate the script
+  std::uint64_t chaos_seed = 0;
   double recovery_slo = 0.0;     // ms; > 0 prints an SLO verdict
+  std::string queue_policy = "block";  // frontend full-queue policy
+  double deadline_ms = 0.0;            // per-request budget (deadline policy)
+  double admit_rate = 0.0;             // token-bucket admission throttle
   std::string schedule = "fifo";
   int sched_window = 1024;
   int sched_group = 8;
@@ -131,12 +136,14 @@ Cost optimal_cost_for(const Trace& trace, int k) {
          "          [--shards S] [--partition contiguous|hash]\n"
          "          [--rebalance none|hotpair|watermark] [--epoch N]\n"
          "          [--split-watermark X] [--merge-watermark X]\n"
-         "          [--replicas R] [--fault IDX@SHARD[,...]]\n"
-         "          [--recovery-slo MS]\n"
+         "          [--replicas R] [--fault [KIND:]IDX@SHARD[,...]]\n"
+         "          [--chaos-seed SEED] [--recovery-slo MS]\n"
          "          [--schedule fifo|locality] [--sched-window W]\n"
          "          [--sched-group G]\n"
          "          [--open-loop] [--arrival poisson|bursty|saturation]\n"
          "          [--rate R] [--duration T]\n"
+         "          [--queue-policy block|shed|deadline] [--deadline-ms D]\n"
+         "          [--admit-rate R]\n"
          "          [--optimal-gap]\n"
          "          [--dump-tree FILE.dot] [--dump-trace FILE]\n"
          "          [--dump-trace-v2 FILE]\n"
@@ -148,11 +155,19 @@ Cost optimal_cost_for(const Trace& trace, int k) {
          "--rebalance adds adaptive migration epochs (needs --shards > 1)\n"
          "--split-watermark/--merge-watermark add tablet-style shard\n"
          "  lifecycle epochs (split the hot shard / merge the two coldest);\n"
-         "  --replicas R keeps the R hottest shards read-replicated. Batch\n"
-         "  pipeline only (the open-loop frontend's topology is fixed)\n"
-         "--fault kills shard SHARD when the request counter reaches IDX and\n"
-         "  crash-recovers it (replica promotion, else snapshot + replay);\n"
+         "  --replicas R keeps the R hottest shards read-replicated. Works\n"
+         "  in the batch pipeline and under --open-loop, where splits spawn\n"
+         "  workers and merges retire them mid-run\n"
+         "--fault fires KIND (k = shard kill, the default; w = worker kill;\n"
+         "  q = queue pressure) at shard SHARD when the request counter\n"
+         "  reaches IDX; shard kills crash-recover (replica promotion, else\n"
+         "  snapshot + replay). --chaos-seed generates a valid random script\n"
+         "  instead (deterministic per seed);\n"
          "  --recovery-slo MS prints a pass/fail verdict on recovery time\n"
+         "--queue-policy picks what a full frontend queue does (block is\n"
+         "  lossless backpressure; shed drops; deadline sheds requests older\n"
+         "  than --deadline-ms at admission and dequeue); --admit-rate R\n"
+         "  arms a token-bucket admission throttle (open-loop only)\n"
          "--schedule locality reorders requests within --sched-window slots\n"
          "  by LCA cluster and serves --sched-group descents behind an\n"
          "  interleaved prefetch warm-up (per shard / admission batch);\n"
@@ -203,7 +218,14 @@ Options parse(int argc, char** argv) {
     else if (arg == "--merge-watermark") o.merge_watermark = std::stod(next());
     else if (arg == "--replicas") o.replicas = std::stoi(next());
     else if (arg == "--fault") o.fault = next();
+    else if (arg == "--chaos-seed") {
+      o.chaos = true;
+      o.chaos_seed = std::stoull(next());
+    }
     else if (arg == "--recovery-slo") o.recovery_slo = std::stod(next());
+    else if (arg == "--queue-policy") o.queue_policy = next();
+    else if (arg == "--deadline-ms") o.deadline_ms = std::stod(next());
+    else if (arg == "--admit-rate") o.admit_rate = std::stod(next());
     else if (arg == "--schedule") o.schedule = next();
     else if (arg == "--sched-window") o.sched_window = std::stoi(next());
     else if (arg == "--sched-group") o.sched_group = std::stoi(next());
@@ -292,9 +314,22 @@ RebalanceConfig make_rebalance_config(const Options& o,
   return cfg;
 }
 
-FaultPlan make_fault_plan(const Options& o) {
+QueuePolicy parse_queue_policy(const std::string& name) {
+  if (name == "block") return QueuePolicy::kBlock;
+  if (name == "shed") return QueuePolicy::kShed;
+  if (name == "deadline") return QueuePolicy::kDeadline;
+  throw TreeError("unknown queue policy: " + name +
+                  " (expected block|shed|deadline)");
+}
+
+FaultPlan make_fault_plan(const Options& o, int shards, std::size_t m) {
+  if (o.chaos && !o.fault.empty())
+    throw TreeError("--fault and --chaos-seed are mutually exclusive");
   FaultPlan plan;
-  if (!o.fault.empty()) plan = parse_fault_plan(o.fault);
+  if (o.chaos)
+    plan = gen_chaos_plan(o.chaos_seed, shards, m);
+  else if (!o.fault.empty())
+    plan = parse_fault_plan(o.fault);
   plan.recovery_slo_ms = o.recovery_slo;
   return plan;
 }
@@ -309,6 +344,9 @@ void add_lifecycle_rows(Table& out, const SimResult& res) {
 
 void add_fault_rows(Table& out, const SimResult& res, const FaultPlan& plan) {
   out.add_row({"faults injected", std::to_string(res.faults_injected)});
+  out.add_row({"worker kills", std::to_string(res.worker_kills)});
+  out.add_row(
+      {"queue pressure events", std::to_string(res.queue_pressure_events)});
   out.add_row({"replica promotions", std::to_string(res.replica_promotions)});
   out.add_row(
       {"recovery replayed ops", std::to_string(res.recovery_replayed)});
@@ -319,6 +357,26 @@ void add_fault_rows(Table& out, const SimResult& res, const FaultPlan& plan) {
                  res.recovery_max_ms <= plan.recovery_slo_ms
                      ? std::string("met")
                      : std::string("MISSED")});
+}
+
+void add_overload_rows(Table& out, const FrontendResult& r,
+                       QueuePolicy policy) {
+  out.add_row({"queue policy", queue_policy_name(policy)});
+  out.add_row(
+      {"queue full blocks", std::to_string(r.sim.queue_full_blocks)});
+  if (r.sim.shed_requests > 0) {
+    out.add_row({"shed requests", std::to_string(r.sim.shed_requests)});
+    out.add_row({"  at full queue", std::to_string(r.sim.shed_queue_full)});
+    out.add_row({"  throttled", std::to_string(r.sim.shed_throttled)});
+    out.add_row(
+        {"  deadline expired", std::to_string(r.sim.deadline_expired)});
+    out.add_row({"  cross-shard legs", std::to_string(r.sim.cross_shed)});
+    out.add_row({"breaker trips", std::to_string(r.sim.breaker_trips)});
+    out.add_row({"shed age p99 (us)",
+                 fixed_cell(static_cast<double>(r.shed.p99()) / 1e3)});
+  }
+  if (r.route_epochs > 0)
+    out.add_row({"route epochs", std::to_string(r.route_epochs)});
 }
 
 // `opt_cost` receives the DP value when this factory already computed it
@@ -379,6 +437,10 @@ int main(int argc, char** argv) {
     }
     if (!o.trace_path.empty() && !o.trace_v2_path.empty())
       throw TreeError("--trace and --trace-v2 are mutually exclusive");
+    if (!o.open_loop &&
+        (o.queue_policy != "block" || o.deadline_ms > 0.0 || o.admit_rate > 0.0))
+      throw TreeError(
+          "--queue-policy/--deadline-ms/--admit-rate need --open-loop");
 
     if (o.stream) {
       // Single-pass replay: requests are pulled on demand, never
@@ -413,11 +475,8 @@ int main(int argc, char** argv) {
           o.k, static_cast<int>(stream->n()), std::max(1, o.shards),
           parse_partition(o.partition), RotationPolicy{}, mode);
       const RebalanceConfig cfg = make_rebalance_config(o, rebalance);
-      const FaultPlan faults = make_fault_plan(o);
-      if (o.open_loop && cfg.lifecycle_enabled())
-        throw TreeError(
-            "shard lifecycle flags are batch-pipeline-only (drop --open-loop "
-            "or the --split-watermark/--merge-watermark/--replicas flags)");
+      const FaultPlan faults =
+          make_fault_plan(o, std::max(1, o.shards), stream->size());
 
       Table out({"metric", "value"});
       out.add_row({"network", net.name() + (o.open_loop
@@ -426,8 +485,12 @@ int main(int argc, char** argv) {
       out.add_row({"nodes", std::to_string(stream->n())});
       if (o.open_loop) {
         FrontendOptions fopt;
-        if (rebalance != RebalancePolicy::kNone) fopt.rebalance = &cfg;
+        if (rebalance != RebalancePolicy::kNone || cfg.lifecycle_enabled())
+          fopt.rebalance = &cfg;
         fopt.schedule = sched;
+        fopt.queue_policy = parse_queue_policy(o.queue_policy);
+        fopt.deadline_ms = o.deadline_ms;
+        fopt.admit_rate = o.admit_rate;
         if (faults.enabled()) fopt.faults = &faults;
         StreamingArrivalSchedule schedule(arrival, o.rate, o.seed);
         ServeFrontend frontend(net, fopt);
@@ -462,6 +525,8 @@ int main(int argc, char** argv) {
           out.add_row({"intra-shard fraction (at dispatch)",
                        fixed_cell(r.sim.post_intra_fraction)});
         }
+        add_overload_rows(out, r, fopt.queue_policy);
+        if (cfg.lifecycle_enabled()) add_lifecycle_rows(out, r.sim);
         if (faults.enabled()) add_fault_rows(out, r.sim, faults);
       } else {
         ShardedRunOptions ropt;
@@ -517,11 +582,8 @@ int main(int argc, char** argv) {
     if (rebalance != RebalancePolicy::kNone && o.epoch == 0)
       throw TreeError("--rebalance needs --epoch > 0");
     const RebalanceConfig lifecycle_cfg = make_rebalance_config(o, rebalance);
-    const FaultPlan faults = make_fault_plan(o);
-    if (lifecycle_cfg.lifecycle_enabled() && o.open_loop)
-      throw TreeError(
-          "shard lifecycle flags are batch-pipeline-only (drop --open-loop "
-          "or the --split-watermark/--merge-watermark/--replicas flags)");
+    const FaultPlan faults =
+        make_fault_plan(o, std::max(1, o.shards), trace.size());
     if ((lifecycle_cfg.lifecycle_enabled() || faults.enabled()) &&
         o.shards <= 1 && !o.open_loop)
       throw TreeError("--split-watermark/--merge-watermark/--replicas/--fault "
@@ -537,12 +599,14 @@ int main(int argc, char** argv) {
       ShardedNetwork net = ShardedNetwork::balanced(
           o.k, trace.n, std::max(1, o.shards), parse_partition(o.partition),
           RotationPolicy{}, mode);
-      RebalanceConfig cfg;
-      cfg.policy = rebalance;
-      cfg.epoch_requests = o.epoch;
       FrontendOptions fopt;
-      if (rebalance != RebalancePolicy::kNone) fopt.rebalance = &cfg;
+      if (rebalance != RebalancePolicy::kNone ||
+          lifecycle_cfg.lifecycle_enabled())
+        fopt.rebalance = &lifecycle_cfg;
       fopt.schedule = sched;
+      fopt.queue_policy = parse_queue_policy(o.queue_policy);
+      fopt.deadline_ms = o.deadline_ms;
+      fopt.admit_rate = o.admit_rate;
       if (faults.enabled()) fopt.faults = &faults;
       const auto arrivals = gen_arrival_times(
           arrival, arrival == ArrivalKind::kSaturation ? 0.0 : o.rate,
@@ -574,7 +638,8 @@ int main(int argc, char** argv) {
       out.add_row({"total rotations", std::to_string(r.sim.rotation_count)});
       out.add_row({"cross-shard requests", std::to_string(r.sim.cross_shard)});
       out.add_row({"handovers", std::to_string(r.handovers)});
-      if (rebalance != RebalancePolicy::kNone) {
+      if (rebalance != RebalancePolicy::kNone ||
+          lifecycle_cfg.lifecycle_enabled()) {
         out.add_row({"rebalance epochs", std::to_string(r.sim.rebalance_epochs)});
         out.add_row({"migrations", std::to_string(r.sim.migrations)});
         out.add_row({"migration cost", std::to_string(r.sim.migration_cost)});
@@ -582,6 +647,8 @@ int main(int argc, char** argv) {
         out.add_row({"final intra-shard fraction",
                      fixed_cell(r.sim.post_intra_fraction)});
       }
+      add_overload_rows(out, r, fopt.queue_policy);
+      if (lifecycle_cfg.lifecycle_enabled()) add_lifecycle_rows(out, r.sim);
       if (faults.enabled()) add_fault_rows(out, r.sim, faults);
       if (o.csv)
         std::cout << out.to_csv();

@@ -1,0 +1,40 @@
+#include "io/checksum.hpp"
+
+#include <array>
+
+namespace san {
+namespace {
+
+/// Byte-at-a-time table for the reflected IEEE polynomial, built once at
+/// static-init time. Plenty for footer verification: the checksum pass is
+/// bounded by I/O, not by the table walk.
+std::array<std::uint32_t, 256> make_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int bit = 0; bit < 8; ++bit)
+      c = (c & 1u) ? (0xEDB88320u ^ (c >> 1)) : (c >> 1);
+    table[i] = c;
+  }
+  return table;
+}
+
+const std::array<std::uint32_t, 256> kTable = make_table();
+
+}  // namespace
+
+void Crc32::update(const void* data, std::size_t len) {
+  const unsigned char* p = static_cast<const unsigned char*>(data);
+  std::uint32_t c = state_;
+  for (std::size_t i = 0; i < len; ++i)
+    c = kTable[(c ^ p[i]) & 0xFFu] ^ (c >> 8);
+  state_ = c;
+}
+
+std::uint32_t crc32(const void* data, std::size_t len) {
+  Crc32 c;
+  c.update(data, len);
+  return c.value();
+}
+
+}  // namespace san

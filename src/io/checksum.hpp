@@ -1,0 +1,38 @@
+// CRC32 (IEEE 802.3, reflected polynomial 0xEDB88320) for artifact
+// integrity footers: trace-v2 files and shard snapshots carry a checksum
+// over everything that precedes it, so a torn write or a flipped bit is
+// rejected with a clear error instead of replaying garbage. Implemented
+// in-repo (no external hashing dependency); the incremental interface
+// lets streaming readers fold chunk after chunk without buffering the
+// artifact.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace san {
+
+/// Incremental CRC32. Feed bytes in any chunking; `value()` finalizes
+/// without consuming state, so it can be read mid-stream.
+class Crc32 {
+ public:
+  void update(const void* data, std::size_t len);
+  void update(std::string_view s) { update(s.data(), s.size()); }
+
+  /// Final (bit-inverted) CRC of everything fed so far.
+  std::uint32_t value() const { return state_ ^ 0xFFFFFFFFu; }
+
+  void reset() { state_ = 0xFFFFFFFFu; }
+
+ private:
+  std::uint32_t state_ = 0xFFFFFFFFu;
+};
+
+/// One-shot convenience over a contiguous buffer.
+std::uint32_t crc32(const void* data, std::size_t len);
+inline std::uint32_t crc32(std::string_view s) {
+  return crc32(s.data(), s.size());
+}
+
+}  // namespace san

@@ -44,7 +44,7 @@ std::uint64_t load_u64le(const unsigned char* p) {
 void encode_header(unsigned char* hdr, int n, std::uint64_t m) {
   std::memcpy(hdr, kTraceV2Magic, sizeof(kTraceV2Magic));
   store_u32le(hdr + 8, static_cast<std::uint32_t>(n));
-  store_u32le(hdr + 12, 0);  // flags
+  store_u32le(hdr + 12, kTraceV2FlagChecksum);
   store_u64le(hdr + 16, m);
 }
 
@@ -80,6 +80,7 @@ TraceV2Writer::TraceV2Writer(std::ostream& out, int n, std::uint64_t m)
   encode_header(hdr, n_, want_);
   out_->write(reinterpret_cast<const char*>(hdr), sizeof(hdr));
   if (!*out_) throw TreeError("TraceV2Writer: header write failure");
+  crc_.update(hdr, sizeof(hdr));
 }
 
 void TraceV2Writer::append(const Request& r) {
@@ -95,6 +96,7 @@ void TraceV2Writer::append(const Request& r) {
   store_u32le(rec + 4, static_cast<std::uint32_t>(r.dst));
   out_->write(reinterpret_cast<const char*>(rec), sizeof(rec));
   if (!*out_) throw TreeError("TraceV2Writer: record write failure");
+  crc_.update(rec, sizeof(rec));
   ++written_;
 }
 
@@ -104,6 +106,10 @@ void TraceV2Writer::finish() {
     throw TreeError("TraceV2Writer: wrote " + std::to_string(written_) +
                     " records but the header declared " +
                     std::to_string(want_));
+  unsigned char footer[kTraceV2FooterBytes];
+  std::memcpy(footer, kTraceV2FooterMagic, sizeof(kTraceV2FooterMagic));
+  store_u32le(footer + 4, crc_.value());
+  out_->write(reinterpret_cast<const char*>(footer), sizeof(footer));
   out_->flush();
   if (!*out_) throw TreeError("TraceV2Writer: flush failure");
   finished_ = true;
@@ -127,17 +133,42 @@ void TraceV2Reader::parse_header(const unsigned char* hdr) {
     throw TreeError("trace v2: bad magic (not a santrcv2 file)");
   const std::uint32_t n = load_u32le(hdr + 8);
   const std::uint32_t flags = load_u32le(hdr + 12);
-  if (flags != 0)
+  if ((flags & ~kTraceV2FlagChecksum) != 0)
     throw TreeError("trace v2: unknown flags 0x" + std::to_string(flags) +
                     " (newer format revision?)");
+  has_footer_ = (flags & kTraceV2FlagChecksum) != 0;
   check_node_count(static_cast<long long>(n));
   n_ = static_cast<int>(n);
   m_ = load_u64le(hdr + 16);
   // A fixed-width format cannot hide records: a header whose m does not
   // fit any real file (m * 8 overflowing off_t) is hostile by definition.
-  if (m_ > (std::numeric_limits<std::uint64_t>::max() - kTraceV2HeaderBytes) /
+  if (m_ > (std::numeric_limits<std::uint64_t>::max() - kTraceV2HeaderBytes -
+            kTraceV2FooterBytes) /
                kTraceV2RecordBytes)
     throw TreeError("trace v2: record count overflows the format");
+  crc_.update(hdr, kTraceV2HeaderBytes);
+}
+
+void TraceV2Reader::maybe_verify_footer() {
+  if (!has_footer_ || footer_checked_ || next_ != m_) return;
+  footer_checked_ = true;
+  unsigned char footer[kTraceV2FooterBytes];
+  if (map_) {
+    std::memcpy(footer, map_ + kTraceV2HeaderBytes + m_ * kTraceV2RecordBytes,
+                sizeof(footer));
+  } else {
+    in_->read(reinterpret_cast<char*>(footer),
+              static_cast<std::streamsize>(sizeof(footer)));
+    if (in_->gcount() != static_cast<std::streamsize>(sizeof(footer)))
+      throw TreeError("trace v2: truncated checksum footer");
+  }
+  if (std::memcmp(footer, kTraceV2FooterMagic, sizeof(kTraceV2FooterMagic)) !=
+      0)
+    throw TreeError("trace v2: corrupt checksum footer (bad footer magic)");
+  const std::uint32_t want = load_u32le(footer + 4);
+  if (want != crc_.value())
+    throw TreeError(
+        "trace v2: checksum mismatch (torn or bit-flipped artifact)");
 }
 
 TraceV2Reader::TraceV2Reader(std::istream& in) : in_(&in) {
@@ -146,6 +177,7 @@ TraceV2Reader::TraceV2Reader(std::istream& in) : in_(&in) {
   if (in_->gcount() != static_cast<std::streamsize>(sizeof(hdr)))
     throw TreeError("trace v2: truncated header");
   parse_header(hdr);
+  maybe_verify_footer();  // m == 0: the footer is all there is to check
 }
 
 TraceV2Reader::TraceV2Reader(const std::string& path, Backend backend) {
@@ -162,10 +194,12 @@ TraceV2Reader::TraceV2Reader(const std::string& path, Backend backend) {
     parse_header(hdr);
     // The file size is knowable here, so check it against the header the
     // same way the mmap backend does.
-    if (len != kTraceV2HeaderBytes + m_ * kTraceV2RecordBytes)
+    if (len != kTraceV2HeaderBytes + m_ * kTraceV2RecordBytes +
+                   (has_footer_ ? kTraceV2FooterBytes : 0))
       throw TreeError("trace v2: file size does not match the header (" +
                       std::to_string(len) + " bytes for m=" +
                       std::to_string(m_) + ")");
+    maybe_verify_footer();
     return;
   }
 
@@ -192,10 +226,12 @@ TraceV2Reader::TraceV2Reader(const std::string& path, Backend backend) {
     // The mapping is the whole file, so the size coherence check is exact:
     // a header claiming records the file does not hold is rejected up
     // front, not discovered as a fault mid-replay.
-    if (map_len_ != kTraceV2HeaderBytes + m_ * kTraceV2RecordBytes)
+    if (map_len_ != kTraceV2HeaderBytes + m_ * kTraceV2RecordBytes +
+                        (has_footer_ ? kTraceV2FooterBytes : 0))
       throw TreeError("trace v2: file size does not match the header (" +
                       std::to_string(map_len_) + " bytes for m=" +
                       std::to_string(m_) + ")");
+    maybe_verify_footer();
   } catch (...) {
     ::munmap(const_cast<unsigned char*>(map_), map_len_);
     map_ = nullptr;
@@ -211,6 +247,7 @@ TraceV2Reader::~TraceV2Reader() {
 std::size_t TraceV2Reader::fill_from_bytes(const unsigned char* bytes,
                                            std::size_t records,
                                            std::span<Request> out) {
+  if (has_footer_) crc_.update(bytes, records * kTraceV2RecordBytes);
   for (std::size_t i = 0; i < records; ++i) {
     const std::uint32_t src = load_u32le(bytes + i * kTraceV2RecordBytes);
     const std::uint32_t dst = load_u32le(bytes + i * kTraceV2RecordBytes + 4);
@@ -237,6 +274,7 @@ std::size_t TraceV2Reader::fill(std::span<Request> out) {
         map_ + kTraceV2HeaderBytes + next_ * kTraceV2RecordBytes;
     fill_from_bytes(bytes, want, out);
     next_ += want;
+    maybe_verify_footer();
     return want;
   }
 
@@ -252,6 +290,7 @@ std::size_t TraceV2Reader::fill(std::span<Request> out) {
                     ")");
   fill_from_bytes(buf.data(), want, out);
   next_ += want;
+  maybe_verify_footer();
   return want;
 }
 

@@ -8,9 +8,12 @@
 //   offset  size  field
 //   0       8     magic "santrcv2"
 //   8       4     u32 LE  n        (node count, ids 1..n)
-//   12      4     u32 LE  flags    (must be 0; readers reject unknown bits)
+//   12      4     u32 LE  flags    (bit 0 = checksum footer present;
+//                                   readers reject any other bit)
 //   16      8     u64 LE  m        (record count)
 //   24      8*m   records: u32 LE src, u32 LE dst
+//   [end]   8     footer (flag bit 0): magic "scrc" + u32 LE CRC32 over
+//                 every preceding byte (header + records)
 //
 // All integers are little-endian regardless of host byte order (encoded
 // and decoded byte-wise, no type punning). TraceV2Reader implements
@@ -22,6 +25,14 @@
 // record-count-vs-file-size coherence where the size is knowable) and
 // every record (ids in [1, n], no self-loops): a corrupt or hostile file
 // throws TreeError, it never yields garbage requests.
+//
+// Integrity: writers always emit the CRC32 footer (flag bit 0 set).
+// Readers still accept flag-free legacy files; when the flag is set the
+// CRC is folded incrementally as chunks stream through fill() and
+// verified once the last record has been consumed, so a bit flip anywhere
+// in the artifact — including the header fields the size checks trust —
+// raises TreeError no later than end of replay, with zero extra passes
+// over the data.
 #pragma once
 
 #include <cstddef>
@@ -30,6 +41,7 @@
 #include <iosfwd>
 #include <string>
 
+#include "io/checksum.hpp"
 #include "workload/streaming.hpp"
 
 namespace san {
@@ -38,6 +50,11 @@ inline constexpr char kTraceV2Magic[8] = {'s', 'a', 'n', 't',
                                           'r', 'c', 'v', '2'};
 inline constexpr std::size_t kTraceV2HeaderBytes = 24;
 inline constexpr std::size_t kTraceV2RecordBytes = 8;
+/// Header flag bit 0: the file ends in a kTraceV2FooterBytes integrity
+/// footer ("scrc" + u32 LE CRC32 of header + records).
+inline constexpr std::uint32_t kTraceV2FlagChecksum = 0x1;
+inline constexpr char kTraceV2FooterMagic[4] = {'s', 'c', 'r', 'c'};
+inline constexpr std::size_t kTraceV2FooterBytes = 8;
 
 /// Streams a Trace out in v2 format. Throws TreeError on stream failure.
 void write_trace_v2(std::ostream& out, const Trace& trace);
@@ -45,14 +62,16 @@ void write_trace_v2_file(const std::string& path, const Trace& trace);
 
 /// Incremental v2 writer for sources that never materialize: header first
 /// (n and m must be known up front — the format is fixed-width, so m is
-/// not discoverable later), then append() per request, then finish().
+/// not discoverable later), then append() per request, then finish(),
+/// which seals the file with the CRC32 integrity footer.
 class TraceV2Writer {
  public:
   TraceV2Writer(std::ostream& out, int n, std::uint64_t m);
 
   /// Validates ids ([1, n], no self-loop) and writes one record.
   void append(const Request& r);
-  /// Flushes and verifies exactly m records were appended.
+  /// Writes the checksum footer, flushes, and verifies exactly m records
+  /// were appended.
   void finish();
 
  private:
@@ -61,6 +80,7 @@ class TraceV2Writer {
   std::uint64_t want_ = 0;
   std::uint64_t written_ = 0;
   bool finished_ = false;
+  Crc32 crc_;
 };
 
 /// Drains any RequestStream to a v2 file in O(chunk) memory. Composing
@@ -94,10 +114,16 @@ class TraceV2Reader final : public RequestStream {
   void parse_header(const unsigned char* hdr);
   std::size_t fill_from_bytes(const unsigned char* bytes, std::size_t records,
                               std::span<Request> out);
+  /// Checks the integrity footer once every record has been consumed
+  /// (no-op for legacy flag-free files or before the stream's end).
+  void maybe_verify_footer();
 
   int n_ = 0;
   std::uint64_t m_ = 0;
   std::uint64_t next_ = 0;  ///< records consumed
+  bool has_footer_ = false;
+  bool footer_checked_ = false;
+  Crc32 crc_;  ///< folded over header + records as they stream through
 
   std::istream* in_ = nullptr;  ///< borrowed or &file_
   std::ifstream file_;

@@ -8,6 +8,7 @@
 #include <memory>
 #include <mutex>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "workload/rebalance.hpp"
@@ -17,39 +18,82 @@ namespace {
 
 using Clock = std::chrono::steady_clock;
 
+/// splitmix64, the deterministic stream behind handover-retry backoff
+/// jitter. Stable across platforms so a backoff schedule is a pure
+/// function of (backoff_seed, worker slot).
+std::uint64_t splitmix64(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9E3779B97F4A7C15ull);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+/// Circuit-breaker states, one per shard. kRecovery is dispatcher-owned
+/// (set around a shard kill's recovery window); kOpen is worker-owned
+/// (tripped by handover-retry exhaustion, half-opened by a probe).
+constexpr int kBreakerClosed = 0;
+constexpr int kBreakerOpen = 1;
+constexpr int kBreakerRecovery = 2;
+
 /// One queued operation, in global ids (local ids are resolved on
 /// admission so queued items survive migrations).
 struct QueueItem {
   NodeId src = kNoNode;
   NodeId dst = kNoNode;          ///< kNoNode marks a handover second leg
   std::uint64_t arrival_ns = 0;  ///< intended arrival (latency origin)
-  Cost pending_top = 0;          ///< top-tree legs accumulated so far
+  std::uint64_t deadline_ns = 0;  ///< absolute deadline; 0 = none. Only
+                                  ///< fresh items carry one: a handover
+                                  ///< second leg always completes (its
+                                  ///< first leg already mutated a tree).
+  Cost pending_top = 0;           ///< top-tree legs accumulated so far
 
   bool is_handover() const { return dst == kNoNode; }
 };
 
-/// Per-shard inbox: a bounded main queue (dispatcher -> worker) plus an
-/// unbounded mailbox (worker -> worker handovers). MPSC; one mutex and
-/// one wakeup per admitted *batch*, not per request.
+/// Per-shard inbox: a bounded main queue (dispatcher -> worker) plus a
+/// mailbox (worker -> worker handovers) that is unbounded under kBlock
+/// and bounded under the degradation modes. MPSC; one mutex and one
+/// wakeup per admitted *batch*, not per request.
 class ShardInbox {
  public:
-  explicit ShardInbox(std::size_t capacity) : capacity_(capacity) {}
+  ShardInbox(std::size_t capacity, std::size_t mail_capacity)
+      : capacity_(capacity), mail_capacity_(mail_capacity) {}
 
-  /// Dispatcher push; blocks while the main queue is full.
-  void push_main(const QueueItem& item) {
+  /// Dispatcher push; blocks while the main queue is full. Returns true
+  /// when it had to wait (the queue was full on arrival) — the
+  /// queue_full_blocks signal.
+  bool push_main(const QueueItem& item) {
     std::unique_lock<std::mutex> lock(mu_);
-    not_full_.wait(lock, [&] { return main_.size() < capacity_; });
+    bool waited = false;
+    while (main_.size() >= capacity_) {
+      waited = true;
+      not_full_.wait(lock);
+    }
     const bool was_empty = main_.empty() && mail_.empty();
     main_.push_back(item);
     if (was_empty) not_empty_.notify_one();
+    return waited;
   }
 
-  /// Worker-to-worker handover push; never blocks (see FrontendOptions).
-  void push_mail(const QueueItem& item) {
+  /// Dispatcher push under kShed; false when the main queue is full.
+  bool try_push_main(const QueueItem& item) {
     std::lock_guard<std::mutex> lock(mu_);
+    if (main_.size() >= capacity_) return false;
+    const bool was_empty = main_.empty() && mail_.empty();
+    main_.push_back(item);
+    if (was_empty) not_empty_.notify_one();
+    return true;
+  }
+
+  /// Worker-to-worker handover push; never blocks. False when the mailbox
+  /// is bounded (degradation modes) and full — callers retry or shed.
+  bool push_mail(const QueueItem& item) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (mail_capacity_ != 0 && mail_.size() >= mail_capacity_) return false;
     const bool was_empty = main_.empty() && mail_.empty();
     mail_.push_back(item);
     if (was_empty) not_empty_.notify_one();
+    return true;
   }
 
   /// Admits up to `max_items` into `out`, mailbox first (handover ops are
@@ -83,6 +127,28 @@ class ShardInbox {
     not_full_.notify_all();
   }
 
+  /// Re-arms a closed, drained inbox so a respawned worker (worker-kill
+  /// recovery) or a slot-reusing split can serve from it again.
+  void reopen() {
+    std::lock_guard<std::mutex> lock(mu_);
+    closed_ = false;
+  }
+
+  /// Dispatcher-only (same thread as push_main): the kQueuePressure fault
+  /// collapses the bound, the next quiesce barrier restores it.
+  void set_capacity(std::size_t capacity) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      capacity_ = capacity;
+    }
+    not_full_.notify_all();
+  }
+
+  std::size_t capacity() {
+    std::lock_guard<std::mutex> lock(mu_);
+    return capacity_;
+  }
+
  private:
   std::mutex mu_;
   std::condition_variable not_empty_;
@@ -90,14 +156,17 @@ class ShardInbox {
   std::deque<QueueItem> mail_;
   std::deque<QueueItem> main_;
   std::size_t capacity_;
+  std::size_t mail_capacity_;  ///< 0 = unbounded (kBlock compat mode)
   bool closed_ = false;
 };
 
-/// Worker-owned accumulators. Written only by the owning worker thread;
-/// read by the dispatcher at quiesce barriers (ordered by the acquire
-/// load of `completed` against the workers' release increments) and after
-/// join. The trailing histograms make the struct large enough that
-/// neighbouring workers' hot counters do not share a cache line.
+/// Worker-owned accumulators. Written only by the owning worker thread
+/// (a slot keeps one WorkerState across worker-kill respawns and shard
+/// reassignments, so counters only ever accumulate); read by the
+/// dispatcher at quiesce barriers (ordered by the acquire load of
+/// `completed` against the workers' release increments) and after join.
+/// The trailing histograms make the struct large enough that neighbouring
+/// workers' hot counters do not share a cache line.
 struct WorkerState {
   Cost routing = 0;
   Cost rotations = 0;
@@ -113,11 +182,29 @@ struct WorkerState {
   std::size_t handovers = 0;
   std::size_t forwards = 0;
   Cost reordered = 0;  ///< batch slots permuted by the locality schedule
+  Cost deadline_expired = 0;  ///< shed at dequeue, pre-mutation
+  Cost cross_shed = 0;        ///< handover/forward legs shed by the
+                              ///< breaker or retry exhaustion
+  Cost breaker_trips = 0;
+  std::uint64_t probe_clock = 0;  ///< half-open probe cadence counter
   LatencyHistogram sojourn;
   LatencyHistogram queue_wait;
+  LatencyHistogram shed;  ///< age at drop of dequeue/handover sheds
 };
 
 }  // namespace
+
+const char* queue_policy_name(QueuePolicy policy) {
+  switch (policy) {
+    case QueuePolicy::kBlock:
+      return "block";
+    case QueuePolicy::kShed:
+      return "shed";
+    case QueuePolicy::kDeadline:
+      return "deadline";
+  }
+  return "?";
+}
 
 ServeFrontend::ServeFrontend(ShardedNetwork& net, FrontendOptions opt)
     : net_(net), opt_(opt) {
@@ -130,12 +217,17 @@ ServeFrontend::ServeFrontend(ShardedNetwork& net, FrontendOptions opt)
     throw TreeError(
         "ServeFrontend: locality schedule needs admission_batch >= 2 "
         "(a 1-item batch can never reorder)");
-  if (opt_.rebalance != nullptr && opt_.rebalance->lifecycle_enabled())
+  if (opt_.queue_policy == QueuePolicy::kDeadline && opt_.deadline_ms <= 0.0)
+    throw TreeError("ServeFrontend: kDeadline needs deadline_ms > 0");
+  if (opt_.queue_policy != QueuePolicy::kDeadline && opt_.deadline_ms != 0.0)
     throw TreeError(
-        "ServeFrontend: shard lifecycle (split/merge watermarks, planned "
-        "replicas) is batch-pipeline-only — the frontend's worker-per-shard "
-        "topology is fixed for a run. Replicate statically with "
-        "ShardedNetwork::add_replica instead.");
+        "ServeFrontend: deadline_ms requires the kDeadline queue policy");
+  if (opt_.admit_rate < 0.0 || opt_.admit_burst < 0.0)
+    throw TreeError("ServeFrontend: admit_rate/admit_burst must be >= 0");
+  if (opt_.handover_retries < 0)
+    throw TreeError("ServeFrontend: handover_retries must be >= 0");
+  if (opt_.breaker_threshold < 1)
+    throw TreeError("ServeFrontend: breaker_threshold must be >= 1");
   if (opt_.faults != nullptr) opt_.faults->validate();
 }
 
@@ -147,9 +239,11 @@ FrontendResult ServeFrontend::run(const Trace& trace,
   FixedArrivalSchedule schedule(arrivals);
   FrontendResult res = run_stream(stream, schedule);
   // With an unchanged map the dispatch-time counters already are the final
-  // intra fraction; a migrated map needs the full-trace re-scan, which the
-  // single-pass engine cannot perform.
-  if (res.sim.migrations != 0)
+  // intra fraction; a migrated (or split/merged — shard ids rewritten
+  // wholesale) map needs the full-trace re-scan, which the single-pass
+  // engine cannot perform.
+  if (res.sim.migrations != 0 || res.sim.shard_splits != 0 ||
+      res.sim.shard_merges != 0)
     res.sim.post_intra_fraction =
         compute_shard_stats(trace, net_.map()).intra_fraction();
   return res;
@@ -157,17 +251,49 @@ FrontendResult ServeFrontend::run(const Trace& trace,
 
 FrontendResult ServeFrontend::run_stream(RequestStream& stream,
                                          ArrivalSchedule& schedule) {
-  const int S = net_.num_shards();
+  const int S0 = net_.num_shards();
   const std::size_t total = stream.size();
+  const bool lifecycle =
+      opt_.rebalance != nullptr && opt_.rebalance->lifecycle_enabled();
+  // Worker slots are preallocated to the lifecycle ceiling so the fleet
+  // can grow without reallocating any array a live worker reads: splits
+  // claim a fresh (or previously retired) slot, merges retire one.
+  const int max_workers =
+      lifecycle ? std::max(S0, opt_.rebalance->max_shards) : S0;
+  const bool degrade = opt_.queue_policy != QueuePolicy::kBlock;
+  const std::size_t mail_cap =
+      degrade ? (opt_.mailbox_capacity != 0 ? opt_.mailbox_capacity
+                                            : 4 * opt_.queue_capacity)
+              : 0;  // kBlock keeps the lossless unbounded mailbox
 
   FrontendResult res;
 
-  std::vector<std::unique_ptr<ShardInbox>> inboxes;  // mutexes don't move
-  inboxes.reserve(static_cast<std::size_t>(S));
-  for (int s = 0; s < S; ++s)
-    inboxes.push_back(std::make_unique<ShardInbox>(opt_.queue_capacity));
-  std::vector<WorkerState> workers(static_cast<std::size_t>(S));
+  const auto n_slots = static_cast<std::size_t>(max_workers);
+  std::vector<std::unique_ptr<ShardInbox>> inboxes(n_slots);  // mutexes
+                                                              // don't move
+  std::vector<WorkerState> workers(n_slots);
+  std::vector<std::thread> threads(n_slots);
+  // The shard-route table: shard id -> worker slot (`route`) and its
+  // inverse (`owned`, -1 = slot free/retired). Mutated by the dispatcher
+  // only at quiesce barriers — the pipeline is empty, every worker is
+  // parked in pop_batch — and published through the inbox mutexes (any
+  // item a worker pops was pushed after the mutation). `route_epoch` is
+  // the version counter: workers re-resolve their shard id and tree
+  // pointer when it moves (splits/merges reallocate the shard vector, so
+  // a cached reference can dangle across a barrier).
+  std::vector<int> route(n_slots, -1);
+  std::vector<int> owned(n_slots, -1);
+  std::atomic<std::uint64_t> route_epoch{0};
+  // Per-shard circuit breakers (degradation modes only; see file comment).
+  std::vector<std::atomic<int>> breaker_state(n_slots);
+  std::vector<std::atomic<int>> breaker_failures(n_slots);
   std::atomic<std::size_t> completed{0};
+  for (int s = 0; s < S0; ++s) {
+    inboxes[static_cast<std::size_t>(s)] =
+        std::make_unique<ShardInbox>(opt_.queue_capacity, mail_cap);
+    route[static_cast<std::size_t>(s)] = s;
+    owned[static_cast<std::size_t>(s)] = s;
+  }
 
   const Clock::time_point start = Clock::now();
   auto now_ns = [&start] {
@@ -177,10 +303,82 @@ FrontendResult ServeFrontend::run_stream(RequestStream& stream,
             .count());
   };
 
-  // ---- shard-pinned workers -------------------------------------------
-  auto worker_loop = [&](int s) {
-    WorkerState& ws = workers[static_cast<std::size_t>(s)];
-    KArySplayNet& shard = net_.shard(s);
+  // ---- dynamic worker fleet -------------------------------------------
+  auto worker_loop = [&](int w) {
+    WorkerState& ws = workers[static_cast<std::size_t>(w)];
+    ShardInbox& inbox = *inboxes[static_cast<std::size_t>(w)];
+    // Resolved lazily at the first popped batch (sentinel epoch): an idle
+    // worker that reads the route table or the shard vector at startup
+    // has no happens-before edge to a later barrier's split/merge realloc
+    // — it completed nothing, so the quiesce never observed it. Every
+    // read below is sandwiched between an inbox pop and this worker's
+    // own `completed` release, which the barrier acquires.
+    int my_shard = -1;
+    KArySplayNet* shard = nullptr;
+    std::uint64_t seen_epoch = ~std::uint64_t{0};
+    std::uint64_t rng =
+        opt_.backoff_seed ^
+        (0x9E3779B97F4A7C15ull * (static_cast<std::uint64_t>(w) + 1));
+    // Deterministic backoff between handover retries: exponential base
+    // plus seeded jitter, microseconds-scale so retry exhaustion resolves
+    // well under any realistic deadline.
+    auto backoff = [&](int attempt) {
+      const std::uint64_t base = 2'000ull << std::min(attempt, 10);
+      std::this_thread::sleep_for(
+          std::chrono::nanoseconds(base + splitmix64(rng) % (base / 2 + 1)));
+    };
+    // Shed bookkeeping for an item this worker drops (deadline at
+    // dequeue, breaker, retry exhaustion): record its age and dispose of
+    // it so the quiesce accounting sees every admitted request exactly
+    // once.
+    auto shed_item = [&](const QueueItem& item) {
+      ws.shed.record(now_ns() - item.arrival_ns);
+      completed.fetch_add(1, std::memory_order_release);
+    };
+    // Delivers a mailbox leg to `target`'s worker. kBlock: unbounded push,
+    // always succeeds. Degradation modes: the target's breaker may shed
+    // outright (open or mid-recovery), a full mailbox is retried with
+    // deterministic backoff, and exhaustion feeds the breaker. Returns
+    // false when the leg was shed (caller completes it via shed_item).
+    auto deliver = [&](int target, const QueueItem& leg) -> bool {
+      ShardInbox& box = *inboxes[static_cast<std::size_t>(route[
+          static_cast<std::size_t>(target)])];
+      if (!degrade) {
+        box.push_mail(leg);
+        return true;
+      }
+      std::atomic<int>& st = breaker_state[static_cast<std::size_t>(target)];
+      std::atomic<int>& failures =
+          breaker_failures[static_cast<std::size_t>(target)];
+      const int state = st.load(std::memory_order_acquire);
+      if (state == kBreakerRecovery) return false;
+      if (state == kBreakerOpen) {
+        // Half-open: every 16th leg probes the mailbox; one success
+        // closes the breaker again.
+        if (++ws.probe_clock % 16 != 0) return false;
+        if (box.push_mail(leg)) {
+          st.store(kBreakerClosed, std::memory_order_release);
+          failures.store(0, std::memory_order_relaxed);
+          return true;
+        }
+        return false;
+      }
+      for (int attempt = 0;; ++attempt) {
+        if (box.push_mail(leg)) {
+          failures.store(0, std::memory_order_relaxed);
+          return true;
+        }
+        if (attempt >= opt_.handover_retries) break;
+        backoff(attempt);
+      }
+      if (failures.fetch_add(1, std::memory_order_relaxed) + 1 >=
+          opt_.breaker_threshold) {
+        int expect = kBreakerClosed;
+        if (st.compare_exchange_strong(expect, kBreakerOpen))
+          ++ws.breaker_trips;
+      }
+      return false;
+    };
     std::vector<QueueItem> batch;
     batch.reserve(static_cast<std::size_t>(opt_.admission_batch));
     auto process_item = [&](const QueueItem& item) {
@@ -189,15 +387,18 @@ FrontendResult ServeFrontend::run_stream(RequestStream& stream,
         // Second leg of a cross-shard request: ascend v, charge the
         // accumulated top-tree legs, complete.
         const int home = map.shard_of(item.src);
-        if (home != s) {  // lost a race with a migration: forward
+        if (home != my_shard) {  // lost a race with a migration: forward
           QueueItem fwd = item;
-          fwd.pending_top += net_.top_distance(s, home);
+          fwd.pending_top += net_.top_distance(my_shard, home);
           ++ws.forwards;
-          inboxes[static_cast<std::size_t>(home)]->push_mail(fwd);
+          if (!deliver(home, fwd)) {
+            ++ws.cross_shed;
+            shed_item(fwd);
+          }
           return;
         }
-        const ServeResult sr = shard.access(map.local_of(item.src));
-        if (KArySplayNet* rep = net_.replica_mut(s))
+        const ServeResult sr = shard->access(map.local_of(item.src));
+        if (KArySplayNet* rep = net_.replica_mut(my_shard))
           rep->access(map.local_of(item.src));
         ws.routing += sr.routing_cost + item.pending_top;
         ws.rotations += sr.rotations;
@@ -210,24 +411,34 @@ FrontendResult ServeFrontend::run_stream(RequestStream& stream,
         return;
       }
       const int a = map.shard_of(item.src);
-      if (a != s) {  // fresh item whose source migrated away meanwhile
+      if (a != my_shard) {  // fresh item whose source migrated away
         ++ws.forwards;
-        inboxes[static_cast<std::size_t>(a)]->push_mail(item);
+        if (!deliver(a, item)) {
+          ++ws.cross_shed;
+          shed_item(item);
+        }
+        return;
+      }
+      // Deadline shed at dequeue, before any tree mutation: a request
+      // that expired while queued never touches state.
+      if (item.deadline_ns != 0 && now_ns() > item.deadline_ns) {
+        ++ws.deadline_expired;
+        shed_item(item);
         return;
       }
       ws.queue_wait.record(now_ns() - item.arrival_ns);
       const int b = map.shard_of(item.dst);
-      if (b == s) {
+      if (b == my_shard) {
         // A replicated shard answers intra requests from its lockstep
         // replica (bit-identical results — the pair never diverges) and
         // mirrors the splay into the primary; cost is charged once.
         ServeResult sr;
-        if (KArySplayNet* rep = net_.replica_mut(s)) {
+        if (KArySplayNet* rep = net_.replica_mut(my_shard)) {
           sr = rep->serve(map.local_of(item.src), map.local_of(item.dst));
-          shard.serve(map.local_of(item.src), map.local_of(item.dst));
+          shard->serve(map.local_of(item.src), map.local_of(item.dst));
           ++ws.replica_reads;
         } else {
-          sr = shard.serve(map.local_of(item.src), map.local_of(item.dst));
+          sr = shard->serve(map.local_of(item.src), map.local_of(item.dst));
         }
         ws.routing += sr.routing_cost;
         ws.rotations += sr.rotations;
@@ -239,8 +450,8 @@ FrontendResult ServeFrontend::run_stream(RequestStream& stream,
       } else {
         // First leg: ascend u to this shard's root, hand the request
         // over to v's shard with the top-tree route priced in.
-        const ServeResult sr = shard.access(map.local_of(item.src));
-        if (KArySplayNet* rep = net_.replica_mut(s))
+        const ServeResult sr = shard->access(map.local_of(item.src));
+        if (KArySplayNet* rep = net_.replica_mut(my_shard))
           rep->access(map.local_of(item.src));
         ws.routing += sr.routing_cost;
         ws.rotations += sr.rotations;
@@ -250,19 +461,23 @@ FrontendResult ServeFrontend::run_stream(RequestStream& stream,
         QueueItem leg;
         leg.src = item.dst;
         leg.arrival_ns = item.arrival_ns;
-        leg.pending_top = net_.top_distance(s, b);
-        inboxes[static_cast<std::size_t>(b)]->push_mail(leg);
+        leg.pending_top = net_.top_distance(my_shard, b);
+        if (!deliver(b, leg)) {
+          ++ws.cross_shed;
+          shed_item(leg);
+        }
       }
     };
     // Resolves a queued item into this worker's shard-local id space for
     // the locality scheduler. Items for other shards (forwards) and
-    // handovers/first legs key as root ascents or foreign ops; migrations
-    // only land at quiesce barriers, so the map is stable per batch.
+    // handovers/first legs key as root ascents or foreign ops; fleet and
+    // map changes only land at quiesce barriers, so the map is stable per
+    // batch.
     auto resolve = [&](const QueueItem& item) -> ScheduleEndpoints {
       const ShardMap& map = net_.map();
-      if (map.shard_of(item.src) != s) return {kNoNode, kNoNode};
+      if (map.shard_of(item.src) != my_shard) return {kNoNode, kNoNode};
       const NodeId u = map.local_of(item.src);
-      if (item.is_handover() || map.shard_of(item.dst) != s)
+      if (item.is_handover() || map.shard_of(item.dst) != my_shard)
         return {u, kNoNode};  // root ascent (second or first leg)
       return {u, map.local_of(item.dst)};
     };
@@ -270,27 +485,63 @@ FrontendResult ServeFrontend::run_stream(RequestStream& stream,
     const bool reorder = opt_.schedule.reorders();
     for (;;) {
       batch.clear();
-      if (inboxes[static_cast<std::size_t>(s)]->pop_batch(
-              batch, static_cast<std::size_t>(opt_.admission_batch)) == 0) {
-        ws.reordered = scheduler.reordered();
-        return;  // closed and drained
+      if (inbox.pop_batch(batch,
+                          static_cast<std::size_t>(opt_.admission_batch)) ==
+          0) {
+        // Closed and drained. += so counters survive worker-kill respawns
+        // on this slot.
+        ws.reordered += scheduler.reordered();
+        return;
+      }
+      const std::uint64_t e = route_epoch.load(std::memory_order_acquire);
+      if (e != seen_epoch) {  // fleet changed shape at a barrier
+        seen_epoch = e;
+        my_shard = owned[static_cast<std::size_t>(w)];
+        shard = &net_.shard(my_shard);
       }
       if (!reorder) {
         for (const QueueItem& item : batch) process_item(item);
       } else {
-        scheduler.run(shard.tree(), std::span<QueueItem>(batch), resolve,
+        scheduler.run(shard->tree(), std::span<QueueItem>(batch), resolve,
                       process_item);
       }
     }
   };
 
-  std::vector<std::thread> threads;
-  threads.reserve(static_cast<std::size_t>(S));
-  for (int s = 0; s < S; ++s) threads.emplace_back(worker_loop, s);
+  auto spawn_worker = [&](int w, int shard_id) {
+    auto& slot = inboxes[static_cast<std::size_t>(w)];
+    if (slot == nullptr)
+      slot = std::make_unique<ShardInbox>(opt_.queue_capacity, mail_cap);
+    else
+      slot->reopen();  // reclaimed after an earlier merge retired it
+    owned[static_cast<std::size_t>(w)] = shard_id;
+    route[static_cast<std::size_t>(shard_id)] = w;
+    threads[static_cast<std::size_t>(w)] = std::thread(worker_loop, w);
+  };
+  auto retire_worker = [&](int w) {
+    inboxes[static_cast<std::size_t>(w)]->close();
+    threads[static_cast<std::size_t>(w)].join();
+    owned[static_cast<std::size_t>(w)] = -1;
+  };
+  auto free_slot = [&]() -> int {
+    for (int w = 0; w < max_workers; ++w)
+      if (owned[static_cast<std::size_t>(w)] == -1 &&
+          !threads[static_cast<std::size_t>(w)].joinable())
+        return w;
+    return -1;
+  };
+  auto publish_epoch = [&] {
+    route_epoch.fetch_add(1, std::memory_order_release);
+    ++res.route_epochs;
+  };
+
+  for (int s = 0; s < S0; ++s)
+    threads[static_cast<std::size_t>(s)] = std::thread(worker_loop, s);
 
   // ---- open-loop dispatcher (caller thread) ---------------------------
   const bool adaptive =
-      opt_.rebalance != nullptr && opt_.rebalance->enabled() && S > 1;
+      opt_.rebalance != nullptr &&
+      ((opt_.rebalance->enabled() && S0 > 1) || lifecycle);
   RebalanceState state(adaptive ? *opt_.rebalance : RebalanceConfig{});
   const std::size_t epoch =
       adaptive ? opt_.rebalance->epoch_requests : total + 1;
@@ -308,69 +559,202 @@ FrontendResult ServeFrontend::run_stream(RequestStream& stream,
       std::this_thread::yield();
   };
 
-  // ---- scripted crash injection (sim/fault.hpp) -----------------------
-  // While kills are pending the dispatcher keeps a fleet snapshot plus the
-  // tail of requests dispatched since it; resume points are run start,
+  // Queue-pressure windows: (worker slot, original capacity) pairs,
+  // restored at the next quiesce barrier.
+  std::vector<std::pair<int, std::size_t>> pressured;
+  auto restore_pressure = [&] {
+    for (const auto& [w, cap] : pressured)
+      inboxes[static_cast<std::size_t>(w)]->set_capacity(cap);
+    pressured.clear();
+  };
+  // Barriers reset the breakers: the fleet just proved it can drain, so
+  // congestion-tripped breakers half-open wholesale (and merge renumbering
+  // would stale per-shard state anyway).
+  auto reset_breakers = [&] {
+    if (!degrade) return;
+    for (int i = 0; i < max_workers; ++i) {
+      breaker_state[static_cast<std::size_t>(i)].store(
+          kBreakerClosed, std::memory_order_release);
+      breaker_failures[static_cast<std::size_t>(i)].store(
+          0, std::memory_order_relaxed);
+    }
+  };
+
+  // ---- scripted fault injection (sim/fault.hpp) -----------------------
+  // While events are pending the dispatcher keeps a fleet snapshot plus
+  // the tail of requests admitted since it; resume points are run start,
   // post-recovery and post-epoch-barrier instants, so the tail never spans
-  // a map change. A kill quiesces the (drained, handovers included)
+  // a map change. A shard kill quiesces the (drained, handovers included)
   // pipeline, then recovers: replica promotion when the shard is
   // replicated, else snapshot restore + dispatch-order tail replay.
-  std::vector<FaultEvent> kills;
+  std::vector<FaultEvent> events;
   if (opt_.faults != nullptr && opt_.faults->enabled())
-    kills = opt_.faults->kills;
-  std::size_t next_kill = 0;
+    events = opt_.faults->kills;
+  std::size_t next_event = 0;
   std::vector<std::string> snaps;   // [shard] tree_io snapshot text
-  std::vector<Request> fault_tail;  // dispatched since the snapshots
+  std::vector<Request> fault_tail;  // admitted since the snapshots
   auto snapshot_all = [&] {
-    if (next_kill >= kills.size()) return;
-    snaps.resize(static_cast<std::size_t>(S));
-    for (int s = 0; s < S; ++s)
+    if (next_event >= events.size()) return;
+    const int live = net_.num_shards();
+    snaps.resize(static_cast<std::size_t>(live));
+    for (int s = 0; s < live; ++s)
       snaps[static_cast<std::size_t>(s)] = net_.snapshot_shard(s);
     fault_tail.clear();
   };
-  auto fire_kill = [&](int shard, std::size_t disp) {
-    if (shard < 0 || shard >= S)
-      throw TreeError("FaultPlan: kill shard " + std::to_string(shard) +
-                      " out of range (S=" + std::to_string(S) + ")");
-    quiesce(disp);
-    const Clock::time_point t0 = Clock::now();
-    ++res.sim.faults_injected;
-    if (net_.has_replica(shard)) {
-      net_.promote_replica(shard);  // lockstep copy == lost state
-      ++res.sim.replica_promotions;
-    } else {
-      net_.restore_shard(shard, snaps[static_cast<std::size_t>(shard)]);
-      // Replay the killed shard's projection of the tail in dispatch
-      // order. At S = 1 under FIFO admission this is bit-identical to the
-      // lost state; at S > 1 it is dispatch-order-consistent (the racy
-      // mailbox interleaving that produced the lost state was never
-      // recorded). Costs land in the recovery counters, not the serve
-      // counters.
-      PartitionedTrace pt = partition_trace(fault_tail, net_.map());
-      std::vector<ShardOp>& ops = pt.ops[static_cast<std::size_t>(shard)];
-      KArySplayNet& sh = net_.shard(shard);
-      for (const ShardOp& op : ops) {
-        const ServeResult sr =
-            op.is_ascent() ? sh.access(op.src) : sh.serve(op.src, op.dst);
-        res.sim.recovery_cost +=
-            sr.routing_cost + static_cast<Cost>(sr.rotations);
+  auto fire_event = [&](const FaultEvent& ev, std::size_t disp) {
+    const int live = net_.num_shards();
+    if (ev.shard < 0 || ev.shard >= live)
+      throw TreeError("FaultPlan: " + std::string(fault_kind_name(ev.kind)) +
+                      " shard " + std::to_string(ev.shard) +
+                      " out of range (live S=" + std::to_string(live) + ")");
+    ++next_event;  // before snapshot_all so the final event skips it
+    switch (ev.kind) {
+      case FaultKind::kShardKill: {
+        // Open the recovery breaker first so in-flight cross legs shed
+        // instead of serving into the doomed shard (degradation modes;
+        // kBlock stays lossless and drains them).
+        if (degrade)
+          breaker_state[static_cast<std::size_t>(ev.shard)].store(
+              kBreakerRecovery, std::memory_order_release);
+        quiesce(disp);
+        restore_pressure();
+        const Clock::time_point t0 = Clock::now();
+        ++res.sim.faults_injected;
+        if (net_.has_replica(ev.shard)) {
+          net_.promote_replica(ev.shard);  // lockstep copy == lost state
+          ++res.sim.replica_promotions;
+        } else {
+          net_.restore_shard(ev.shard,
+                             snaps[static_cast<std::size_t>(ev.shard)]);
+          // Replay the killed shard's projection of the tail in dispatch
+          // order. At S = 1 under FIFO admission this is bit-identical to
+          // the lost state; at S > 1 it is dispatch-order-consistent (the
+          // racy mailbox interleaving that produced the lost state was
+          // never recorded). Costs land in the recovery counters, not the
+          // serve counters.
+          PartitionedTrace pt = partition_trace(fault_tail, net_.map());
+          std::vector<ShardOp>& ops =
+              pt.ops[static_cast<std::size_t>(ev.shard)];
+          KArySplayNet& sh = net_.shard(ev.shard);
+          for (const ShardOp& op : ops) {
+            const ServeResult sr =
+                op.is_ascent() ? sh.access(op.src) : sh.serve(op.src, op.dst);
+            res.sim.recovery_cost +=
+                sr.routing_cost + static_cast<Cost>(sr.rotations);
+          }
+          res.sim.recovery_replayed += static_cast<Cost>(ops.size());
+        }
+        if (degrade) {
+          breaker_state[static_cast<std::size_t>(ev.shard)].store(
+              kBreakerClosed, std::memory_order_release);
+          breaker_failures[static_cast<std::size_t>(ev.shard)].store(
+              0, std::memory_order_relaxed);
+        }
+        const double ms =
+            std::chrono::duration<double, std::milli>(Clock::now() - t0)
+                .count();
+        res.sim.recovery_total_ms += ms;
+        res.sim.recovery_max_ms = std::max(res.sim.recovery_max_ms, ms);
+        snapshot_all();
+        break;
       }
-      res.sim.recovery_replayed += static_cast<Cost>(ops.size());
+      case FaultKind::kWorkerKill: {
+        // The thread dies, the shard's data survives: retire the worker
+        // at the quiesce barrier and respawn a fresh one on the same
+        // slot (same inbox, same accumulated counters).
+        quiesce(disp);
+        restore_pressure();
+        const Clock::time_point t0 = Clock::now();
+        ++res.sim.worker_kills;
+        const int w = route[static_cast<std::size_t>(ev.shard)];
+        inboxes[static_cast<std::size_t>(w)]->close();
+        threads[static_cast<std::size_t>(w)].join();
+        inboxes[static_cast<std::size_t>(w)]->reopen();
+        threads[static_cast<std::size_t>(w)] = std::thread(worker_loop, w);
+        const double ms =
+            std::chrono::duration<double, std::milli>(Clock::now() - t0)
+                .count();
+        res.sim.recovery_total_ms += ms;
+        res.sim.recovery_max_ms = std::max(res.sim.recovery_max_ms, ms);
+        snapshot_all();
+        break;
+      }
+      case FaultKind::kQueuePressure: {
+        // No barrier: the shard's inbox bound collapses mid-flight and
+        // the admission policy has to cope until the next barrier
+        // restores it. The crash tail keeps accumulating (no tree or map
+        // change to re-anchor against).
+        const int w = route[static_cast<std::size_t>(ev.shard)];
+        pressured.emplace_back(
+            w, inboxes[static_cast<std::size_t>(w)]->capacity());
+        inboxes[static_cast<std::size_t>(w)]->set_capacity(
+            std::max<std::size_t>(1, opt_.queue_capacity / 8));
+        ++res.sim.queue_pressure_events;
+        break;
+      }
     }
-    const double ms =
-        std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
-    res.sim.recovery_total_ms += ms;
-    res.sim.recovery_max_ms = std::max(res.sim.recovery_max_ms, ms);
-    ++next_kill;
-    snapshot_all();
   };
   snapshot_all();
 
-  // The epoch barrier: drain the pipeline, measure, plan, apply. The
+  // Lifecycle at the barrier, mirroring the batch pipeline: plan ids
+  // refer to the pre-lifecycle map, so replicas are reconciled first; the
+  // split/merge (which renumbers shards and drops their replicas) applies
+  // last, then the worker fleet is reshaped to match. Returns true when
+  // the fleet or map changed shape.
+  auto apply_lifecycle = [&](const RebalancePlan& plan) -> bool {
+    bool changed = false;
+    if (opt_.rebalance->replicas > 0) {
+      for (int s = 0; s < net_.num_shards(); ++s) {
+        const bool want = std::binary_search(plan.replicate.begin(),
+                                             plan.replicate.end(), s);
+        if (want && !net_.has_replica(s))
+          net_.add_replica(s);
+        else if (!want && net_.has_replica(s))
+          net_.drop_replica(s);
+      }
+    }
+    // Migrations applied above may have reshaped the very shard the plan
+    // targets, so the split precondition is re-checked against the live
+    // map. The slot check cannot fail while the planner respects
+    // max_shards, but a fleet that somehow ran out of slots skips the
+    // split rather than corrupting the route table.
+    if (plan.split_shard >= 0 &&
+        net_.map().shard_size(plan.split_shard) >= 2 && free_slot() >= 0) {
+      const LifecycleResult lr = net_.split_shard(plan.split_shard);
+      ++res.sim.shard_splits;
+      res.sim.lifecycle_cost += lr.total_cost();
+      // The new shard takes the next id; give it a worker of its own.
+      spawn_worker(free_slot(), net_.num_shards() - 1);
+      changed = true;
+    } else if (plan.merge_from >= 0) {
+      const LifecycleResult lr =
+          net_.merge_shards(plan.merge_into, plan.merge_from);
+      ++res.sim.shard_merges;
+      res.sim.lifecycle_cost += lr.total_cost();
+      // Retire the vacated worker, then renumber: every shard id above
+      // merge_from shifted down by one.
+      retire_worker(route[static_cast<std::size_t>(plan.merge_from)]);
+      for (int w = 0; w < max_workers; ++w) {
+        int& o = owned[static_cast<std::size_t>(w)];
+        if (o > plan.merge_from) --o;
+      }
+      for (int w = 0; w < max_workers; ++w)
+        if (owned[static_cast<std::size_t>(w)] >= 0)
+          route[static_cast<std::size_t>(
+              owned[static_cast<std::size_t>(w)])] = w;
+      changed = true;
+    }
+    return changed;
+  };
+
+  // The epoch barrier: drain the pipeline, measure, plan, apply —
+  // migrations and, when configured, the full shard lifecycle. The
   // dispatcher keeps the arrival clock running, so this pause is charged
   // to every request that arrives during it.
   auto epoch_barrier = [&](std::size_t dispatched) {
     quiesce(dispatched);
+    restore_pressure();
+    reset_breakers();
     Cost ascent = 0, intra_c = 0;
     std::size_t crossn = 0, intran = 0;
     for (const WorkerState& ws : workers) {
@@ -396,6 +780,7 @@ FrontendResult ServeFrontend::run_stream(RequestStream& stream,
       hints.cross_penalty = std::max(
           0.0, cross_cost_w / cross_reqs_w - intra_cost_w / intra_reqs_w);
     RebalancePlan plan = state.epoch(net_.map(), hints);
+    bool changed = false;
     if (plan.triggered) {
       ++res.sim.rebalance_epochs;
       if (!plan.migrations.empty()) {
@@ -403,11 +788,29 @@ FrontendResult ServeFrontend::run_stream(RequestStream& stream,
             net_.apply_migrations(std::move(plan.migrations));
         res.sim.migrations += applied.migrated;
         res.sim.migration_cost += applied.total_cost();
+        changed = true;
       }
     }
+    if (lifecycle && apply_lifecycle(plan)) changed = true;
+    if (changed) publish_epoch();
   };
 
-  std::size_t dispatched = 0;
+  // ---- admission control ----------------------------------------------
+  const bool throttled = opt_.admit_rate > 0.0;
+  const double burst_cap = opt_.admit_burst > 0.0 ? opt_.admit_burst : 64.0;
+  double tokens = burst_cap;
+  std::uint64_t bucket_clock = 0;  // last intended-arrival refill instant
+  const std::uint64_t deadline_budget_ns =
+      opt_.queue_policy == QueuePolicy::kDeadline
+          ? static_cast<std::uint64_t>(opt_.deadline_ms * 1e6)
+          : 0;
+  // Admission-time sheds are recorded by the dispatcher itself.
+  auto shed_admission = [&](std::uint64_t arrival_ns) {
+    res.shed.record(now_ns() - arrival_ns);
+  };
+
+  std::size_t offered = 0;     // pulled from the schedule (admitted + shed)
+  std::size_t dispatched = 0;  // admitted into a queue
   std::size_t cross_dispatched = 0;
   std::uint64_t last_arrival_ns = 0;
   std::vector<Request> chunk(std::min(total, kStreamChunkRequests));
@@ -415,9 +818,9 @@ FrontendResult ServeFrontend::run_stream(RequestStream& stream,
     const std::size_t got = stream.fill(chunk);
     if (got == 0) break;
     for (std::size_t i = 0; i < got; ++i) {
-      while (next_kill < kills.size() &&
-             kills[next_kill].at_request == dispatched)
-        fire_kill(kills[next_kill].shard, dispatched);
+      while (next_event < events.size() &&
+             events[next_event].at_request == offered)
+        fire_event(events[next_event], dispatched);
       // Pace to the arrival schedule: sleep for coarse gaps, spin out the
       // last stretch (sleep_until wakes late by scheduler quanta, which
       // would throttle multi-million-req/s schedules).
@@ -433,37 +836,76 @@ FrontendResult ServeFrontend::run_stream(RequestStream& stream,
           // busy-wait: the dispatcher is the clock of the experiment
         }
       }
+      ++offered;
+      // Token bucket, refilled from the intended-arrival clock: the
+      // admit/shed pattern is a deterministic function of the schedule,
+      // not of wall-clock jitter.
+      if (throttled) {
+        tokens = std::min(burst_cap,
+                          tokens + static_cast<double>(due - bucket_clock) *
+                                       1e-9 * opt_.admit_rate);
+        bucket_clock = due;
+        if (tokens < 1.0) {
+          ++res.sim.shed_throttled;
+          shed_admission(due);
+          continue;
+        }
+        tokens -= 1.0;
+      }
+      std::uint64_t deadline_ns = 0;
+      if (deadline_budget_ns != 0) {
+        deadline_ns = due + deadline_budget_ns;
+        if (now_ns() > deadline_ns) {  // dead on arrival (backpressure)
+          ++res.sim.deadline_expired;
+          shed_admission(due);
+          continue;
+        }
+      }
       const Request& r = chunk[i];
       const int a = net_.map().shard_of(r.src);
-      if (net_.map().shard_of(r.dst) != a) ++cross_dispatched;
       QueueItem item;
       item.src = r.src;
       item.dst = r.dst;
       item.arrival_ns = due;
-      inboxes[static_cast<std::size_t>(a)]->push_main(item);
+      item.deadline_ns = deadline_ns;
+      ShardInbox& box = *inboxes[static_cast<std::size_t>(
+          route[static_cast<std::size_t>(a)])];
+      if (opt_.queue_policy == QueuePolicy::kShed) {
+        if (!box.try_push_main(item)) {
+          ++res.sim.queue_full_blocks;
+          ++res.sim.shed_queue_full;
+          shed_admission(due);
+          continue;
+        }
+      } else {
+        if (box.push_main(item)) ++res.sim.queue_full_blocks;
+      }
+      if (net_.map().shard_of(r.dst) != a) ++cross_dispatched;
       ++dispatched;
-      if (next_kill < kills.size()) fault_tail.push_back(r);
+      if (next_event < events.size()) fault_tail.push_back(r);
       if (adaptive) {
         state.observe(r, net_.map());
         if (dispatched % epoch == 0 && dispatched < total) {
           epoch_barrier(dispatched);
-          // Migrations may have rewritten the map: re-anchor the crash
-          // tail so a later replay never spans the barrier.
+          // The barrier may have rewritten the map or fleet: re-anchor
+          // the crash tail so a later replay never spans it.
           snapshot_all();
         }
       }
     }
   }
 
-  res.sim.requests = dispatched;
-  if (dispatched > 0 && last_arrival_ns > 0)
-    res.offered_rate = static_cast<double>(dispatched) /
+  res.sim.requests = offered;
+  if (offered > 0 && last_arrival_ns > 0)
+    res.offered_rate = static_cast<double>(offered) /
                        (static_cast<double>(last_arrival_ns) / 1e9);
 
   quiesce(dispatched);
   res.elapsed_seconds = static_cast<double>(now_ns()) / 1e9;
-  for (auto& inbox : inboxes) inbox->close();
-  for (std::thread& t : threads) t.join();
+  for (auto& inbox : inboxes)
+    if (inbox != nullptr) inbox->close();
+  for (std::thread& t : threads)
+    if (t.joinable()) t.join();
 
   // ---- aggregation ----------------------------------------------------
   for (const WorkerState& ws : workers) {
@@ -474,20 +916,27 @@ FrontendResult ServeFrontend::run_stream(RequestStream& stream,
     res.handovers += ws.handovers;
     res.forwards += ws.forwards;
     res.sim.reordered_requests += ws.reordered;
+    res.sim.deadline_expired += ws.deadline_expired;
+    res.sim.cross_shed += ws.cross_shed;
+    res.sim.breaker_trips += ws.breaker_trips;
     res.sojourn.merge(ws.sojourn);
     res.queue_wait.merge(ws.queue_wait);
+    res.shed.merge(ws.shed);
   }
+  res.sim.shed_requests = res.sim.shed_queue_full + res.sim.shed_throttled +
+                          res.sim.deadline_expired + res.sim.cross_shed;
   res.sim.schedule = opt_.schedule.policy;
   res.sim.final_shards = net_.num_shards();
   res.sim.cross_shard = static_cast<Cost>(cross_dispatched);
   net_.note_cross_served(static_cast<Cost>(cross_dispatched));
+  res.route_epochs = route_epoch.load(std::memory_order_relaxed);
   res.achieved_rate =
       res.elapsed_seconds > 0.0
-          ? static_cast<double>(dispatched) / res.elapsed_seconds
+          ? static_cast<double>(res.sojourn.count()) / res.elapsed_seconds
           : 0.0;
-  // Dispatch-time intra fraction: the fraction of requests that were
-  // intra-shard under the map they were routed by. The Trace& adapter
-  // upgrades this to a final-map re-scan when migrations occurred.
+  // Dispatch-time intra fraction: the fraction of admitted requests that
+  // were intra-shard under the map they were routed by. The Trace&
+  // adapter upgrades this to a final-map re-scan when the map changed.
   res.sim.post_intra_fraction =
       dispatched == 0 ? 0.0
                       : 1.0 - static_cast<double>(cross_dispatched) /

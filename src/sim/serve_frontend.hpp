@@ -1,21 +1,38 @@
-// ServeFrontend: the live open-loop serving engine — shard-pinned worker
-// threads over per-shard bounded MPSC inboxes, fed by an arrival-timed
-// dispatcher, with cross-shard requests handed over between workers
-// through per-shard mailboxes (the RPC/handover split of disaggregated
-// stores like DiStore, replacing the batch pipeline's epoch barrier).
+// ServeFrontend: the live open-loop serving engine — a dynamic fleet of
+// worker threads over per-shard bounded MPSC inboxes, fed by an
+// arrival-timed dispatcher, with cross-shard requests handed over between
+// workers through per-shard mailboxes (the RPC/handover split of
+// disaggregated stores like DiStore, replacing the batch pipeline's epoch
+// barrier).
 //
 // Topology of one run:
 //
-//   caller thread (dispatcher)            S worker threads, one per shard
+//   caller thread (dispatcher)            worker threads, one per shard
 //   ─────────────────────────             ──────────────────────────────
 //   wait until arrival[i]                 drain inbox (mailbox first,
-//   route r_i by ShardMap      ──push──►  then main queue, ≤ B per
-//   observe into rebalancer               wakeup = batched admission)
-//   every epoch: quiesce,                 intra: shard.serve(u, v)
-//     plan, apply_migrations              cross 1st leg: shard.access(u),
-//                                           mailbox-push to dst worker
-//                                         cross 2nd leg: shard.access(v)
+//   admission control: token              then main queue, ≤ B per
+//     bucket, deadline, queue             wakeup = batched admission)
+//     policy (block/shed)                 re-resolve shard through the
+//   route r_i via the shard-route         route table per batch
+//     table                   ──push──►   intra: shard.serve(u, v)
+//   observe into rebalancer               cross 1st leg: shard.access(u),
+//   every epoch: quiesce, plan,             mailbox-push to dst worker
+//     migrate, split/merge,                 (bounded retry + breaker)
+//     reshape the worker fleet            cross 2nd leg: shard.access(v)
 //                                           + top-tree legs, complete
+//
+// Dynamic worker lifecycle: workers are no longer pinned to a shard at
+// construction. A shard-route table (shard id -> worker slot, versioned
+// by an epoch counter bumped at every fleet change) is consulted per
+// admitted batch and per handover, so the whole PR 9 lifecycle machinery
+// runs mid-flight under live traffic: watermark splits spawn a fresh
+// worker for the new shard, merges retire and join the vacated worker,
+// replica promotion and snapshot-restore recovery rebuild a killed
+// shard — all at the existing quiesce barrier (completed == dispatched),
+// where no request is in flight and the route can change shape safely.
+// Route/fleet mutations are published to workers through the inbox
+// mutexes (every item a worker pops was pushed after the mutation) with
+// the epoch counter as the cheap per-batch re-resolution trigger.
 //
 // Cost accounting is identical to the batched pipeline (and hence to
 // per-request ShardedNetwork::serve): intra requests are exact Section 2
@@ -27,21 +44,36 @@
 // on real-time scheduling, so costs are statistically but not bit
 // reproducible — the price of measuring actual latency.
 //
+// Overload control: the admission plane is explicit instead of an
+// implicit infinite queue. The full-queue policy picks what happens when
+// a shard's main inbox is full — kBlock (backpressure the dispatcher;
+// the pre-overload-control behavior, still the default and still
+// lossless) or kShed (drop the request, count it, record its age in the
+// shed histogram). kDeadline gives every request an absolute deadline
+// (arrival + deadline_ms): dead requests are shed at admission and again
+// at dequeue — a request that expired while queued is dropped before it
+// can touch a tree, so deadline-expired requests never mutate state. An
+// optional token bucket (admit_rate/admit_burst, refilled from the
+// *intended* arrival clock, so its admit/shed pattern is a deterministic
+// function of the schedule) throttles admission upstream of the queues.
+// Every drop lands in SimResult's shed counters and the shed-age
+// histogram; a run with no drops is bit-identical to the pre-overload
+// engine.
+//
+// Cross-shard resilience (kShed/kDeadline only; kBlock keeps the
+// lossless unbounded-mailbox semantics): handover mailboxes are bounded,
+// a full push is retried a bounded number of times with deterministic
+// seeded backoff, and each shard has a circuit breaker — tripped by
+// retry exhaustion (half-opens on a probe cadence) or forced open by the
+// dispatcher while the shard is mid-recovery — that sheds cross-shard
+// legs instead of stalling the sender behind a struggling shard.
+//
 // Latency: each request carries its intended arrival timestamp; sojourn
 // (queue wait + service, including both legs and every mailbox hop of a
 // cross-shard request) is recorded into per-worker LatencyHistograms and
 // merged after the run — the mergeable-summary path to global p50/p99/p999.
-//
-// Rebalancing reuses the PR 4 observe/plan/apply hooks online: the
-// dispatcher observes every request into a RebalanceState; at each epoch
-// boundary it stops dispatching, waits for the pipeline to drain
-// (completed == dispatched — a quiesce barrier, not a per-request one),
-// plans against measured cross/intra costs, applies the migration batch,
-// and resumes. The pause is real serving time: arrivals keep accumulating
-// during it, so migration stalls show up honestly in the tail quantiles.
-// Queued items hold global ids and re-resolve their shard on admission,
-// so ops that raced a migration are forwarded to the node's new shard
-// (counted in FrontendResult::forwards) instead of being lost.
+// Shed requests are recorded in the separate shed histogram (age at drop)
+// and never in sojourn: served latency stays honest under degradation.
 #pragma once
 
 #include <cstdint>
@@ -54,76 +86,132 @@
 
 namespace san {
 
+/// What the dispatcher does when a shard's main inbox is full — and, for
+/// kDeadline, what a request's deadline means. See the file comment.
+enum class QueuePolicy : std::uint8_t {
+  kBlock = 0,  ///< wait for space: lossless backpressure (the default; the
+               ///< pre-overload-control behavior bit for bit, with the
+               ///< wait now counted in SimResult::queue_full_blocks)
+  kShed = 1,   ///< drop the request at a full queue, count + histogram it
+  kDeadline = 2,  ///< block at a full queue, but shed requests whose
+                  ///< absolute deadline (arrival + deadline_ms) has passed
+                  ///< — at admission and again at dequeue
+};
+
+const char* queue_policy_name(QueuePolicy policy);
+
 struct FrontendOptions {
   /// Max requests a worker admits per wakeup (the B of batched admission).
   int admission_batch = 64;
-  /// Bound of each shard's main request queue; the dispatcher blocks while
-  /// its target queue is full (arrival timestamps keep counting, so the
-  /// backpressure is charged to latency, not hidden). Mailboxes are
-  /// unbounded: handover traffic is already bounded by the main queues,
-  /// and a bounded worker-to-worker push could deadlock a cycle of full
-  /// shards.
+  /// Bound of each shard's main request queue. What happens when it fills
+  /// is queue_policy's call; under kBlock the dispatcher blocks while the
+  /// target queue is full (arrival timestamps keep counting, so the
+  /// backpressure is charged to latency, not hidden).
   std::size_t queue_capacity = 1024;
+  /// Full-queue / deadline semantics (see QueuePolicy). kBlock is
+  /// lossless; kShed and kDeadline are the degradation modes that also
+  /// bound the handover mailboxes and arm the circuit breakers.
+  QueuePolicy queue_policy = QueuePolicy::kBlock;
+  /// kDeadline: per-request budget in milliseconds from intended arrival.
+  /// Must be > 0 under kDeadline and 0 otherwise (validated).
+  double deadline_ms = 0.0;
+  /// > 0 arms the token-bucket admission throttle at this many requests/s.
+  /// The bucket refills from the intended-arrival clock, so which requests
+  /// it sheds is a deterministic function of the arrival schedule (under a
+  /// saturation schedule the clock never advances: only the initial burst
+  /// is admitted). Works under every queue policy.
+  double admit_rate = 0.0;
+  /// Token-bucket depth; 0 picks the default (64 tokens).
+  double admit_burst = 0.0;
+  /// Handover mailbox bound under kShed/kDeadline; 0 picks the default
+  /// (4 x queue_capacity). Under kBlock mailboxes stay unbounded: handover
+  /// traffic is already bounded by the main queues, and a bounded
+  /// worker-to-worker push could deadlock a cycle of full shards — the
+  /// degradation modes break that cycle by shedding after bounded retries
+  /// instead.
+  std::size_t mailbox_capacity = 0;
+  /// Bounded retries of a full handover push before the leg is shed
+  /// (kShed/kDeadline only).
+  int handover_retries = 3;
+  /// Seeds the per-worker deterministic backoff schedule between handover
+  /// retries.
+  std::uint64_t backoff_seed = 0x5EED;
+  /// Consecutive handover-retry exhaustions against one shard that trip
+  /// its circuit breaker (which then sheds cross legs outright and
+  /// half-opens on a probe cadence). Must be >= 1.
+  int breaker_threshold = 8;
   /// Non-null + enabled() turns on online rebalancing epochs (see file
-  /// comment). Ignored when the network has a single shard. Lifecycle
-  /// configs (split/merge watermarks, planned replicas) are rejected at
-  /// construction: the frontend's worker-per-shard topology is fixed for
-  /// a run, so fleets can only change shape in the batch pipeline.
-  /// Statically replicated shards (ShardedNetwork::add_replica before the
-  /// run) are fine — workers mirror into them and serve intra-shard
-  /// requests from them.
+  /// comment); lifecycle knobs (split/merge watermarks, planned replicas)
+  /// are honored mid-flight: splits spawn workers, merges retire them,
+  /// replicas are reconciled — all at quiesce barriers, exactly like the
+  /// batch pipeline's drain barriers. Statically replicated shards
+  /// (ShardedNetwork::add_replica before the run) work too — workers
+  /// mirror into them and serve intra-shard requests from them.
   const RebalanceConfig* rebalance = nullptr;
-  /// Non-null + enabled() injects scripted shard crashes (sim/fault.hpp):
-  /// each kill fires when the dispatch counter reaches its at_request.
-  /// The dispatcher quiesces the pipeline, then recovers the shard —
-  /// replica promotion when one exists, else a tree_io snapshot restore
-  /// plus a dispatch-order replay of the killed shard's ops since the
+  /// Non-null + enabled() injects scripted faults (sim/fault.hpp): each
+  /// event fires when the dispatch counter reaches its at_request.
+  /// kShardKill quiesces the pipeline, then recovers the shard — replica
+  /// promotion when one exists, else a checksummed snapshot restore plus
+  /// a dispatch-order replay of the killed shard's ops since the
   /// snapshot. At S = 1 under FIFO the rebuild is bit-identical to the
   /// lost state; at S > 1 it is dispatch-order-consistent (the racy
   /// mailbox interleaving that produced the lost state is not recorded).
-  /// Recovery wall time lands in SimResult::recovery_total_ms/_max_ms and
-  /// the pause is charged to arrivals like any other stall.
+  /// kWorkerKill retires and respawns the shard's worker thread (data
+  /// intact); kQueuePressure collapses the shard's inbox bound until the
+  /// next barrier. Recovery wall time lands in
+  /// SimResult::recovery_total_ms/_max_ms and every pause is charged to
+  /// arrivals like any other stall.
   const FaultPlan* faults = nullptr;
   /// Serve order within each admitted batch (sim/schedule.hpp). FIFO keeps
   /// the inbox order (and hence the S = 1 bit-match with batch replay);
   /// kLocality reorders each batch by LCA cluster against the worker's own
-  /// shard tree before serving — migrations only land at quiesce barriers,
-  /// so the map is stable for the whole batch. Validated at construction.
+  /// shard tree before serving — fleet changes only land at quiesce
+  /// barriers, so the map is stable for the whole batch. Validated at
+  /// construction.
   ScheduleConfig schedule{};
 };
 
 struct FrontendResult {
   /// Serve-path totals in the batch pipeline's conventions, with
   /// sim.latency filled from the sojourn histogram. cross_shard counts
-  /// requests that were cross-shard under the map at dispatch time.
+  /// requests that were cross-shard under the map at dispatch time;
+  /// sim.requests counts every request the schedule offered (admitted or
+  /// shed), so sojourn.count() + sim.shed_requests == sim.requests.
   SimResult sim;
-  /// Queue wait + service time per request, nanoseconds.
+  /// Queue wait + service time per served request, nanoseconds.
   LatencyHistogram sojourn;
-  /// Arrival-to-first-admission wait per request, nanoseconds.
+  /// Arrival-to-first-admission wait per served request, nanoseconds.
   LatencyHistogram queue_wait;
+  /// Age (now - intended arrival) at the moment a request was dropped,
+  /// nanoseconds — the "how stale was what we refused" histogram. Empty
+  /// when nothing was shed.
+  LatencyHistogram shed;
   double elapsed_seconds = 0.0;  ///< first dispatch to last completion
   double offered_rate = 0.0;     ///< requests/s of the arrival schedule
                                  ///< (0 for saturation)
-  double achieved_rate = 0.0;    ///< completed requests / elapsed
+  double achieved_rate = 0.0;    ///< served requests / elapsed
   std::size_t handovers = 0;     ///< first-leg mailbox handovers performed
   std::size_t forwards = 0;      ///< ops re-routed after losing a race
-                                 ///< with a migration
+                                 ///< with a migration or a fleet change
+  std::uint64_t route_epochs = 0;  ///< shard-route-table versions published
+                                   ///< (fleet/map changes during the run)
 };
 
 class ServeFrontend {
  public:
-  /// The frontend serves through `net`, which must outlive it. One worker
-  /// thread per shard is spawned per run() and joined before it returns.
+  /// The frontend serves through `net`, which must outlive it. Worker
+  /// threads are spawned per run() (one per live shard, plus one per
+  /// mid-run split) and joined before it returns.
   explicit ServeFrontend(ShardedNetwork& net, FrontendOptions opt = {});
 
   /// Serves `trace` open-loop: request i is dispatched at `arrivals[i]`
   /// nanoseconds after the run starts (gen_arrival_times produces the
   /// schedule; all-zero = saturation). Blocks until every request has
-  /// completed. Throws TreeError when the sizes disagree or the options
-  /// are invalid. Thin adapter over run_stream (TraceStream +
+  /// completed or been shed. Throws TreeError when the sizes disagree or
+  /// the options are invalid. Thin adapter over run_stream (TraceStream +
   /// FixedArrivalSchedule), plus a final-map post_intra_fraction re-scan
-  /// when migrations occurred — the only thing a single-pass stream
-  /// cannot reproduce.
+  /// when migrations or splits/merges occurred — the only thing a
+  /// single-pass stream cannot reproduce.
   FrontendResult run(const Trace& trace,
                      std::span<const std::uint64_t> arrivals);
 

@@ -172,15 +172,17 @@ class ShardedNetwork {
   // ---- crash recovery -------------------------------------------------
 
   /// Serializes shard `s`'s current topology in san-tree v1 text format
-  /// (io/tree_io.hpp) — the snapshot a crash recovery restores from.
+  /// (io/tree_io.hpp) plus a trailing "#crc32 XXXXXXXX" integrity footer
+  /// over the text — the snapshot a crash recovery restores from.
   std::string snapshot_shard(int s) const;
 
   /// Simulated crash recovery: replaces shard `s`'s (lost) tree with the
-  /// topology parsed from `snap`. The snapshot is validated (tree_io's
-  /// hardened loader) and must match the shard's arity and current node
-  /// count; a replica of `s` is refreshed to the restored state. The
-  /// caller replays the trace tail served since the snapshot to reach the
-  /// exact pre-crash state.
+  /// topology parsed from `snap`. The integrity footer is verified first
+  /// (a torn or bit-flipped snapshot is rejected before any parsing),
+  /// then the snapshot is validated (tree_io's hardened loader) and must
+  /// match the shard's arity and current node count; a replica of `s` is
+  /// refreshed to the restored state. The caller replays the trace tail
+  /// served since the snapshot to reach the exact pre-crash state.
   void restore_shard(int s, const std::string& snap);
 
   /// Replica failover: primary becomes a copy of the lockstep replica

@@ -249,7 +249,20 @@ class FaultInjector {
       const std::size_t rel = at - served_before;
       const std::span<const Request> tail = chunk.subspan(done, rel - done);
       if (!tail.empty()) accumulate(total, drain_chunk(net_, tail, opt_, res_));
-      crash_recover(kills_[next_].shard, tail);
+      switch (kills_[next_].kind) {
+        case FaultKind::kShardKill:
+          crash_recover(kills_[next_].shard, tail);
+          break;
+        case FaultKind::kWorkerKill:
+          // Batch drains spawn workers per chunk; there is no persistent
+          // thread to kill, so the event only counts (the frontend is
+          // where it bites).
+          ++res_.worker_kills;
+          break;
+        case FaultKind::kQueuePressure:
+          ++res_.queue_pressure_events;  // no queues in the batch pipeline
+          break;
+      }
       ++next_;
       snapshot_all();
       done = rel;

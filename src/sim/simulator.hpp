@@ -82,6 +82,31 @@ struct SimResult {
   Cost recovery_cost = 0;        ///< routing + rotations of that replay
   double recovery_total_ms = 0.0;  ///< wall-clock spent recovering, summed
   double recovery_max_ms = 0.0;    ///< slowest single recovery (SLO check)
+  /// Chaos events that are not shard kills (sim/fault.hpp): worker kills
+  /// (frontend: thread retired + respawned at a quiesce barrier; data
+  /// intact) and queue-pressure windows (frontend: inbox bound collapsed
+  /// until the next barrier). The batch pipeline has neither persistent
+  /// workers nor queues, so there these only count the fired events.
+  Cost worker_kills = 0;
+  Cost queue_pressure_events = 0;
+
+  // Overload-control accounting (open-loop frontend only; always 0 for
+  // closed-loop replay). A shed request never touched a tree past the
+  // point it was dropped, so unshed runs stay bit-identical to the
+  // pre-overload-control goldens. shed_requests is the sum of the three
+  // shed classes plus cross_shed; requests == served + shed_requests.
+  Cost shed_requests = 0;     ///< total requests dropped instead of served
+  Cost shed_queue_full = 0;   ///< kShed: dropped at a full main queue
+  Cost shed_throttled = 0;    ///< token-bucket admission drops
+  Cost deadline_expired = 0;  ///< kDeadline: dead at admission or dequeue
+  Cost cross_shed = 0;        ///< cross-shard legs dropped by the circuit
+                              ///< breaker or handover-retry exhaustion
+  /// Dispatcher pushes that found the target main queue full. Under
+  /// kBlock the push then waited (the pre-existing backpressure, now
+  /// visible instead of silent); under kShed it was dropped; under
+  /// kDeadline it waited like kBlock.
+  Cost queue_full_blocks = 0;
+  Cost breaker_trips = 0;  ///< per-shard circuit-breaker open transitions
 
   /// Sojourn-time summary when the result came from the open-loop serving
   /// frontend; latency.measured stays false for closed-loop replay.

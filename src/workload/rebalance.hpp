@@ -138,8 +138,9 @@ struct RebalanceConfig {
   // epoch, independent of `trigger` and `policy` — a load spike needs a
   // systemic answer even when the hot-pair set is stationary. Plans are
   // applied by the batch pipeline at its drain barrier
-  // (sim/simulator.hpp); the open-loop frontend rejects them (its
-  // worker-per-shard topology is fixed for a run).
+  // (sim/simulator.hpp) and by the open-loop frontend at its quiesce
+  // barriers (sim/serve_frontend.hpp), where splits spawn workers and
+  // merges retire them mid-run.
 
   /// > 0 enables shard splitting: when the hottest shard's window load
   /// exceeds split_watermark x the active-shard mean (and it owns >= 4

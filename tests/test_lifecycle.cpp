@@ -441,16 +441,125 @@ TEST(Lifecycle, ShardStatsStayLiveAfterSplitMerge) {
 
 // ---- frontend ----------------------------------------------------------
 
-TEST(Lifecycle, FrontendRejectsLifecycleConfigs) {
-  ShardedNetwork net = ShardedNetwork::balanced(2, 32, 4);
+TEST(Lifecycle, FrontendSplitsShardsUnderLiveTraffic) {
+  // The dynamic worker fleet: a watermark split fires at an epoch barrier
+  // while open-loop traffic is in flight, a fresh worker is spawned for
+  // the new shard, and nothing is lost — every request is served exactly
+  // once under the lossless default policy.
+  const int n = 64, S = 2, k = 2;
+  Trace trace;
+  trace.n = n;
+  std::mt19937_64 rng(11);
+  for (int i = 0; i < 6000; ++i) {  // hammer shard 0's node range
+    const NodeId u = static_cast<NodeId>(1 + rng() % 24);
+    NodeId v = static_cast<NodeId>(1 + rng() % 24);
+    while (v == u) v = static_cast<NodeId>(1 + rng() % 24);
+    trace.requests.push_back({u, v});
+  }
   RebalanceConfig cfg;
+  cfg.policy = RebalancePolicy::kNone;  // lifecycle plans independently
+  cfg.epoch_requests = 1000;
   cfg.split_watermark = 1.5;
+  ShardedNetwork net = ShardedNetwork::balanced(k, n, S);
   FrontendOptions opt;
   opt.rebalance = &cfg;
-  EXPECT_THROW(ServeFrontend(net, opt), TreeError);
-  cfg.split_watermark = 0.0;
-  cfg.replicas = 2;
-  EXPECT_THROW(ServeFrontend(net, opt), TreeError);
+  ServeFrontend frontend(net, opt);
+  const auto arrivals =
+      gen_arrival_times(ArrivalKind::kSaturation, 0.0, trace.size(), 1);
+  const FrontendResult res = frontend.run(trace, arrivals);
+
+  EXPECT_GT(res.sim.shard_splits, 0);
+  EXPECT_EQ(net.num_shards(), S + static_cast<int>(res.sim.shard_splits));
+  EXPECT_GT(res.route_epochs, 0u);
+  EXPECT_EQ(res.sojourn.count(), trace.size());
+  EXPECT_EQ(res.sim.shed_requests, 0);
+  for (int s = 0; s < net.num_shards(); ++s) {
+    const auto err = net.shard(s).tree().validate();
+    ASSERT_FALSE(err.has_value()) << "shard " << s << ": " << *err;
+  }
+  // Node conservation + the final-map intra-fraction re-scan.
+  int owned = 0;
+  for (int s = 0; s < net.num_shards(); ++s) owned += net.map().shard_size(s);
+  EXPECT_EQ(owned, n);
+  EXPECT_DOUBLE_EQ(
+      res.sim.post_intra_fraction,
+      compute_shard_stats(trace, net.map()).intra_fraction());
+}
+
+TEST(Lifecycle, FrontendMergesShardsUnderLiveTraffic) {
+  // The other direction: cold shards recombine mid-run, the vacated
+  // worker retires, and queued traffic for renumbered shards is still
+  // served exactly once.
+  const int n = 120, S = 6, k = 2;
+  const Trace trace = gen_workload(WorkloadKind::kUniform, n, 8000, 7);
+  RebalanceConfig cfg;
+  cfg.epoch_requests = 1000;
+  cfg.merge_watermark = 3.0;  // combined-below-3x-mean: always true here
+  cfg.capacity_factor = 4.0;  // don't let the guard park the merges
+  cfg.min_shards = 3;
+  ShardedNetwork net = ShardedNetwork::balanced(k, n, S);
+  FrontendOptions opt;
+  opt.rebalance = &cfg;
+  ServeFrontend frontend(net, opt);
+  const auto arrivals =
+      gen_arrival_times(ArrivalKind::kSaturation, 0.0, trace.size(), 1);
+  const FrontendResult res = frontend.run(trace, arrivals);
+
+  EXPECT_GT(res.sim.shard_merges, 0);
+  EXPECT_GE(res.sim.final_shards, cfg.min_shards);
+  EXPECT_EQ(net.num_shards(), S - static_cast<int>(res.sim.shard_merges));
+  EXPECT_EQ(res.sojourn.count(), trace.size());
+  EXPECT_EQ(res.sim.shed_requests, 0);
+  int owned = 0;
+  for (int s = 0; s < net.num_shards(); ++s) owned += net.map().shard_size(s);
+  EXPECT_EQ(owned, n);
+  for (int s = 0; s < net.num_shards(); ++s) {
+    const auto err = net.shard(s).tree().validate();
+    ASSERT_FALSE(err.has_value()) << "shard " << s << ": " << *err;
+  }
+}
+
+TEST(Lifecycle, FrontendLifecycleAndFaultsMidFlight) {
+  // Everything at once under live traffic: watermark lifecycle, planned
+  // replicas, a shard kill, a worker kill and a queue-pressure window.
+  // Under the lossless default policy nothing may be shed, every tree
+  // must stay valid, and every node must still be owned exactly once.
+  const int n = 128, S = 4, k = 3;
+  const Trace trace = gen_workload(WorkloadKind::kPhaseElephants, n, 9000, 13);
+  RebalanceConfig cfg;
+  cfg.policy = RebalancePolicy::kWatermark;
+  cfg.trigger = RebalanceTrigger::kEveryEpoch;
+  cfg.epoch_requests = 1500;
+  cfg.split_watermark = 1.4;
+  cfg.merge_watermark = 0.4;
+  cfg.min_shards = 3;  // keep the scripted shard ids in range
+  cfg.replicas = 1;
+  FaultPlan plan;
+  plan.kills = {{800, 1, FaultKind::kQueuePressure},
+                {2200, 0, FaultKind::kShardKill},
+                {5200, 2, FaultKind::kWorkerKill}};
+  ShardedNetwork net = ShardedNetwork::balanced(k, n, S);
+  FrontendOptions opt;
+  opt.rebalance = &cfg;
+  opt.faults = &plan;
+  ServeFrontend frontend(net, opt);
+  const auto arrivals =
+      gen_arrival_times(ArrivalKind::kSaturation, 0.0, trace.size(), 1);
+  const FrontendResult res = frontend.run(trace, arrivals);
+
+  EXPECT_EQ(res.sim.faults_injected, 1);  // the shard kill
+  EXPECT_EQ(res.sim.worker_kills, 1);
+  EXPECT_EQ(res.sim.queue_pressure_events, 1);
+  EXPECT_EQ(res.sojourn.count(), trace.size());
+  EXPECT_EQ(res.sim.shed_requests, 0);
+  EXPECT_EQ(res.sim.requests, trace.size());
+  int owned = 0;
+  for (int s = 0; s < net.num_shards(); ++s) owned += net.map().shard_size(s);
+  EXPECT_EQ(owned, n);
+  for (int s = 0; s < net.num_shards(); ++s) {
+    const auto err = net.shard(s).tree().validate();
+    ASSERT_FALSE(err.has_value()) << "shard " << s << ": " << *err;
+  }
 }
 
 TEST(Lifecycle, FrontendSingleShardRecoveryBitMatchesBatchReplay) {

@@ -75,8 +75,9 @@ TEST(StreamTraceV2, RoundTripsThroughMemory) {
   const Trace t = gen_workload(WorkloadKind::kFacebook, 100, 1500, 5);
   std::stringstream buf;
   write_trace_v2(buf, t);
-  EXPECT_EQ(buf.str().size(),
-            kTraceV2HeaderBytes + t.size() * kTraceV2RecordBytes);
+  EXPECT_EQ(buf.str().size(), kTraceV2HeaderBytes +
+                                  t.size() * kTraceV2RecordBytes +
+                                  kTraceV2FooterBytes);
   TraceV2Reader reader(buf);
   EXPECT_EQ(reader.n(), static_cast<std::size_t>(t.n));
   EXPECT_EQ(reader.size(), t.size());
@@ -148,40 +149,84 @@ TEST(StreamTraceV2, CorruptHeadersAndBodiesAreRejected) {
     }
   };
 
-  // Header bytes flipped one at a time: magic, the n sign byte, flags and
-  // m each land in a validation (bad magic / n out of range / flags != 0 /
-  // m vs body mismatch) or the record checks, never in silent garbage.
-  // Bytes 8-10 are the low bytes of n: enlarging the claimed universe
-  // keeps every record in range, which a borrowed istream (no size oracle)
-  // accepts by design — asserted below.
+  // Header bytes flipped one at a time: every flip lands in a validation —
+  // bad magic / n out of range / unknown flag bits / m vs body mismatch /
+  // record checks — or, since the CRC32 footer covers the header, in the
+  // end-of-stream checksum verification. No silent garbage, including the
+  // n bytes a borrowed istream used to have no oracle for.
   for (std::size_t i = 0; i < kTraceV2HeaderBytes; ++i) {
-    if (i >= 8 && i <= 10) continue;
     std::string bad = good;
     bad[i] = static_cast<char>(bad[i] ^ 0x80);
     reject_bytes(bad, "header byte flip");
   }
-  {
-    std::string enlarged = good;
-    enlarged[8] = static_cast<char>(enlarged[8] ^ 0x80);  // n = 20 -> 148
-    std::stringstream in(enlarged);
-    TraceV2Reader reader(in);
-    EXPECT_EQ(reader.n(), 148u);
-    EXPECT_EQ(materialize_stream(reader).requests, t.requests);
-  }
-  // Truncations: mid-header, mid-record, and one whole record short.
+  // Truncations: mid-header, into the footer, and footer gone entirely.
   reject_bytes(good.substr(0, kTraceV2HeaderBytes - 1), "header truncated");
-  reject_bytes(good.substr(0, good.size() - 3), "record truncated");
-  reject_bytes(good.substr(0, good.size() - kTraceV2RecordBytes),
-               "one record short");
+  reject_bytes(good.substr(0, good.size() - 3), "footer truncated");
+  reject_bytes(good.substr(0, good.size() - kTraceV2FooterBytes),
+               "footer missing");
+  reject_bytes(
+      good.substr(0, good.size() - kTraceV2FooterBytes - kTraceV2RecordBytes),
+      "one record short");
   // Trailing bytes are only detectable with a size oracle: the file-backed
   // readers reject them (see FileBackendsRejectCorruptFiles); a borrowed
-  // istream stops after the promised m records and leaves the rest.
+  // istream stops after the promised m records and the footer.
   // Record-level corruption: a self-loop smuggled into the body.
   {
     std::string bad = good;
     const std::size_t rec = kTraceV2HeaderBytes;
     for (std::size_t i = 0; i < 8; ++i) bad[rec + i] = (i == 0 || i == 4);
     reject_bytes(bad, "self-loop record");
+  }
+  // A record bit flip that keeps both ids in range is invisible to the
+  // per-record validation; the checksum footer is what rejects it.
+  {
+    std::string bad = good;
+    bad[kTraceV2HeaderBytes] = static_cast<char>(bad[kTraceV2HeaderBytes] ^ 2);
+    reject_bytes(bad, "in-range record bit flip");
+  }
+  // Footer corruption: flipped magic and flipped CRC are both rejected.
+  for (const std::size_t off : {good.size() - 8, good.size() - 1}) {
+    std::string bad = good;
+    bad[off] = static_cast<char>(bad[off] ^ 0x10);
+    reject_bytes(bad, "footer byte flip");
+  }
+}
+
+TEST(StreamTraceV2, LegacyFlagFreeFilesStillReplay) {
+  // Files written before the checksum footer (flags == 0, no trailer)
+  // must keep replaying: strip the footer and clear the flag bit.
+  const Trace t = gen_workload(WorkloadKind::kUniform, 20, 50, 2);
+  std::stringstream buf;
+  write_trace_v2(buf, t);
+  std::string legacy = buf.str().substr(0, buf.str().size() -
+                                               kTraceV2FooterBytes);
+  legacy[12] = 0;  // flags byte: drop kTraceV2FlagChecksum
+  {
+    std::stringstream in(legacy);
+    TraceV2Reader reader(in);
+    EXPECT_EQ(materialize_stream(reader).requests, t.requests);
+  }
+  // Without a checksum, enlarging n keeps every record in range, which a
+  // borrowed istream (no size oracle) accepts by design — the documented
+  // integrity gap the footer exists to close.
+  {
+    std::string enlarged = legacy;
+    enlarged[8] = static_cast<char>(enlarged[8] ^ 0x80);  // n = 20 -> 148
+    std::stringstream in(enlarged);
+    TraceV2Reader reader(in);
+    EXPECT_EQ(reader.n(), 148);
+    EXPECT_EQ(materialize_stream(reader).requests, t.requests);
+  }
+  // The file backends still apply their size oracle to legacy files.
+  const std::string path = ::testing::TempDir() + "/legacy.v2";
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(legacy.data(), static_cast<std::streamsize>(legacy.size()));
+  }
+  for (const auto backend :
+       {TraceV2Reader::Backend::kIstream, TraceV2Reader::Backend::kMmap}) {
+    TraceV2Reader reader(path, backend);
+    EXPECT_EQ(materialize_stream(reader).requests, t.requests);
   }
 }
 
